@@ -1,0 +1,76 @@
+"""Ablation: attacker capability as training-data volume.
+
+The paper: "The amount of data given for training can also be modified
+according to the attacker capability or attack detection model's
+resources".  This ablation trains CGANs on growing fractions of the
+recording and measures side-channel inference accuracy — the leakage
+an attacker with that much data achieves.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, shape_check
+from repro.gan import ConditionalGAN
+from repro.security import leakage_vs_training_data
+from repro.utils.tables import format_table
+
+FRACTIONS = (0.2, 0.4, 0.7, 1.0)
+ITERATIONS = 1000
+N_SEEDS = 3  # GAN training is stochastic; average the accuracy per point.
+
+
+def _averaged_study(dataset):
+    per_seed = []
+    for s in range(N_SEEDS):
+        def make(_s=s):
+            return ConditionalGAN(
+                dataset.feature_dim, dataset.condition_dim, seed=BENCH_SEED + _s
+            )
+
+        per_seed.append(
+            leakage_vs_training_data(
+                make,
+                dataset,
+                fractions=FRACTIONS,
+                iterations=ITERATIONS,
+                h=0.2,
+                seed=BENCH_SEED + s,
+            )
+        )
+    # Average accuracies across seeds, keep fraction/n_train of seed 0.
+    out = []
+    for i, (frac, n_train, _acc) in enumerate(per_seed[0]):
+        mean_acc = sum(run[i][2] for run in per_seed) / N_SEEDS
+        out.append((frac, n_train, mean_acc))
+    return out
+
+
+def test_ablation_attacker_data_volume(benchmark, bench_dataset):
+    results = benchmark.pedantic(
+        _averaged_study, args=(bench_dataset,), iterations=1, rounds=1
+    )
+    rows = [
+        [f"{frac:.0%}", n_train, acc, acc / (1 / 3)]
+        for frac, n_train, acc in results
+    ]
+    print()
+    print("=" * 70)
+    print("Ablation: leakage accuracy vs attacker training-data volume")
+    print("=" * 70)
+    print(
+        format_table(
+            rows,
+            ["data fraction", "n_train", "attack accuracy", "x over chance"],
+            title=f"CGAN {ITERATIONS} iterations per setting, h=0.2",
+        )
+    )
+    print()
+    accs = [acc for _f, _n, acc in results]
+    print("-- shape checks --")
+    print(shape_check("full-data attacker leaks above chance", accs[-1] > 1 / 3))
+    print(
+        shape_check(
+            "more data does not hurt the attacker (within noise)",
+            accs[-1] >= accs[0] - 0.1,
+        )
+    )

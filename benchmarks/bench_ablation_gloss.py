@@ -1,0 +1,97 @@
+"""Ablation: generator objective — paper-literal minimax vs the
+non-saturating heuristic.
+
+Algorithm 2's Line 10 descends ``log(1 - D(G(z|c)))``; Goodfellow et
+al. recommend ``-log D(G(z|c))`` in practice.  Both are implemented;
+this ablation compares their training dynamics and downstream leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, shape_check
+from repro.gan import ConditionalGAN, WassersteinConditionalGAN
+from repro.security import SideChannelAttacker
+from repro.utils.tables import format_table
+
+ITERATIONS = 1500
+
+
+def _attack_accuracy(model, test):
+    attacker = SideChannelAttacker(
+        model, test.unique_conditions(), h=0.2, g_size=200, seed=BENCH_SEED
+    ).fit()
+    return attacker.evaluate(test).accuracy
+
+
+def _run(train, test, loss_name):
+    cgan = ConditionalGAN(
+        train.feature_dim,
+        train.condition_dim,
+        generator_loss=loss_name,
+        seed=BENCH_SEED,
+    )
+    cgan.train(train, iterations=ITERATIONS, batch_size=32)
+    final = cgan.history.final()
+    acc = _attack_accuracy(cgan, test)
+    # Early-phase generator progress: how fast g_loss fell in the first 20%.
+    head = np.mean(cgan.history.g_loss[: ITERATIONS // 5])
+    tail = np.mean(cgan.history.g_loss[-ITERATIONS // 5 :])
+    return final["d_loss"], head, tail, acc
+
+
+def _run_wgan(train, test):
+    wgan = WassersteinConditionalGAN(
+        train.feature_dim, train.condition_dim, seed=BENCH_SEED
+    )
+    wgan.train(train, iterations=ITERATIONS, k_disc=5, batch_size=32)
+    final = wgan.history.final()
+    head = np.mean(wgan.history.g_loss[: ITERATIONS // 5])
+    tail = np.mean(wgan.history.g_loss[-ITERATIONS // 5 :])
+    return final["d_loss"], head, tail, _attack_accuracy(wgan, test)
+
+
+def test_ablation_generator_loss(benchmark, bench_split):
+    train, test = bench_split
+    res_ns = benchmark.pedantic(
+        _run, args=(train, test, "non_saturating"), iterations=1, rounds=1
+    )
+    res_mm = _run(train, test, "minimax")
+    res_wg = _run_wgan(train, test)
+
+    rows = [
+        ["non_saturating (default)", *res_ns],
+        ["minimax (paper-literal)", *res_mm],
+        ["wasserstein (extension)", *res_wg],
+    ]
+    print()
+    print("=" * 70)
+    print("Ablation: generator objective (Algorithm 2 Line 10)")
+    print("=" * 70)
+    print(
+        format_table(
+            rows,
+            ["objective", "final D loss", "early G loss", "late G loss",
+             "attack accuracy"],
+            title=f"{ITERATIONS} iterations, case-study dataset",
+        )
+    )
+    print()
+    print("-- shape checks --")
+    print(
+        shape_check(
+            "all objectives produce usable leakage (above chance)",
+            min(res_ns[3], res_mm[3], res_wg[3]) > 1 / 3,
+        )
+    )
+    print(
+        shape_check(
+            "standard objectives share fixed points: comparable final D loss",
+            abs(res_ns[0] - res_mm[0]) < 1.0,
+        )
+    )
+    print(
+        "note: the wasserstein row's losses are critic objectives, not"
+        "\nBCE values - compare its attack accuracy, not its loss column."
+    )

@@ -1,0 +1,76 @@
+"""Figure 7: CGAN training losses over iterations (with growing data).
+
+The paper: "initially, G's loss is high, whereas D's loss is low.
+However, over more iterations and data, the G's loss decreases, making
+it difficult for D to know whether the data generated is real or fake,
+and hence increasing the loss of D."
+
+This benchmark trains the case-study CGAN with the paper's growing-data
+schedule, prints the loss curves as an ASCII plot, and checks the trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, shape_check
+from repro.gan import ConditionalGAN
+from repro.utils.ascii_plot import ascii_line_plot
+
+ITERATIONS = 2000
+
+
+def _train(dataset):
+    cgan = ConditionalGAN(
+        dataset.feature_dim, dataset.condition_dim, seed=BENCH_SEED
+    )
+    cgan.train(
+        dataset,
+        iterations=ITERATIONS,
+        batch_size=32,
+        # Paper: data is incorporated incrementally with iterations.
+        data_fraction=lambda it: min(1.0, 0.2 + 0.8 * (it + 1) / ITERATIONS),
+    )
+    return cgan
+
+
+def _report(history):
+    smooth = history.smoothed(window=100)
+    print()
+    print("=" * 70)
+    print("Figure 7 reproduction: CGAN training losses (growing data)")
+    print("=" * 70)
+    print(
+        ascii_line_plot(
+            {"G loss (-log D(G(z|c)))": smooth["g_loss"],
+             "D loss": smooth["d_loss"]},
+            title=f"losses over {ITERATIONS} iterations (smoothed, window=100)",
+            xlabel=f"iteration 1 .. {ITERATIONS}",
+            ylabel="loss",
+        )
+    )
+    n = len(smooth["g_loss"])
+    head = slice(0, n // 5)
+    tail = slice(-n // 5, None)
+    g_head, g_tail = smooth["g_loss"][head].mean(), smooth["g_loss"][tail].mean()
+    d_head, d_tail = smooth["d_loss"][head].mean(), smooth["d_loss"][tail].mean()
+    print()
+    print(f"G loss: {g_head:.3f} (early) -> {g_tail:.3f} (late)")
+    print(f"D loss: {d_head:.3f} (early) -> {d_tail:.3f} (late)")
+    print(f"training data grows: {history.n_train[0]} -> {history.n_train[-1]} samples")
+    print()
+    print("-- paper-shape checks --")
+    print(shape_check("G loss decreases over training", g_tail < g_head))
+    print(shape_check("D loss increases over training", d_tail > d_head))
+    print(
+        shape_check(
+            "D approaches the fooled regime (loss toward 2 ln 2 = 1.386)",
+            abs(d_tail - 2 * np.log(2)) < abs(d_head - 2 * np.log(2)),
+        )
+    )
+
+
+def test_fig7_training_curves(benchmark, bench_split):
+    train, _test = bench_split
+    cgan = benchmark.pedantic(_train, args=(train,), iterations=1, rounds=1)
+    _report(cgan.history)

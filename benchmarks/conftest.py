@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate the paper's tables and figures, so they use a
+larger simulated recording and longer CGAN training than the unit tests.
+Everything heavyweight is session-scoped and seeded: one printer
+recording and one fully trained CGAN serve all benchmark files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gan import ConditionalGAN
+from repro.manufacturing import record_case_study_dataset
+
+#: One seed for the whole benchmark campaign (reported in EXPERIMENTS.md).
+BENCH_SEED = 20190325  # DATE 2019 conference date.
+
+TRAIN_ITERATIONS = 2500
+
+
+@pytest.fixture(scope="session")
+def bench_case_study():
+    """The benchmark-scale simulated recording (~120 segments)."""
+    return record_case_study_dataset(n_moves_per_axis=40, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_case_study):
+    return bench_case_study[0]
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_dataset):
+    return bench_dataset.split(0.25, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_cgan(bench_split):
+    """The case-study CGAN, trained to benchmark scale."""
+    train, _test = bench_split
+    cgan = ConditionalGAN(
+        train.feature_dim, train.condition_dim, seed=BENCH_SEED
+    )
+    cgan.train(train, iterations=TRAIN_ITERATIONS, batch_size=32)
+    return cgan
+
+
+def shape_check(label: str, condition: bool) -> str:
+    """Render a paper-shape assertion as a printable check line."""
+    mark = "PASS" if condition else "FAIL"
+    return f"  [{mark}] {label}"

@@ -1,0 +1,82 @@
+"""Structural security audit of the printer's CPPS graph.
+
+Before training any CGAN, GAN-Sec's graph (Algorithm 1) already answers
+structural questions from paper Section II:
+
+* what can a malicious G-code stream reach? (attack surface)
+* which components leak into unintentional emissions? (exposure)
+* "Can F9 be used to monitor any attacks in the integrity of the flow
+  path from node C1 to P5?" (monitoring coverage)
+* which flows cross the cyber/physical boundary? (where to put guards)
+
+plus the physical damage a kinetic-cyber attack causes, in millimeters.
+
+Run:  python examples/attack_surface_audit.py
+"""
+
+from repro.graph import (
+    attack_surface,
+    build_graph,
+    cross_domain_cut,
+    emission_exposure,
+    monitoring_coverage,
+)
+from repro.manufacturing import (
+    GCodeProgram,
+    MotionPlanner,
+    geometric_damage_report,
+    printer_architecture,
+)
+
+
+def main():
+    arch = printer_architecture()
+    graph = build_graph(arch)
+
+    print("=== attack surface of the external G-code interface (C4) ===")
+    surface = attack_surface(graph, "C4")
+    for name in sorted(surface):
+        comp = arch.component(name)
+        print(f"  {comp}")
+    print(f"  -> {len(surface)} of {len(arch.component_names()) - 1} "
+          "components are kinetic-cyber reachable")
+
+    print("\n=== side-channel exposure (who leaks into emissions) ===")
+    exposure = emission_exposure(graph)
+    for name in sorted(exposure):
+        flows = exposure[name]
+        if flows:
+            print(f"  {name}: observable via {', '.join(sorted(flows))}")
+
+    print("\n=== the paper's monitoring question ===")
+    # Can the environment-facing emissions monitor the C1 -> P5 path?
+    report = monitoring_coverage(graph, "C1", "P5", ["F17"])
+    print(" ", report.summary())
+    report = monitoring_coverage(graph, "C1", "P2", ["F19"])
+    print(" ", report.summary(), "(thermal monitor cannot see motion!)")
+
+    print("\n=== cross-domain cut (guard placement candidates) ===")
+    for flow in cross_domain_cut(graph):
+        print(f"  {flow}")
+
+    print("\n=== kinetic-cyber damage of an axis-swap attack ===")
+    claimed = MotionPlanner().plan(
+        GCodeProgram.from_text("G90\nG1 F1200 X25\nG1 Y15\nG1 X0\nG1 Y0")
+    )
+    executed = MotionPlanner().plan(
+        # The attacker swapped X and Y in transit.
+        GCodeProgram.from_text("G90\nG1 F1200 Y25\nG1 X15\nG1 Y0\nG1 X0")
+    )
+    damage = geometric_damage_report(claimed, executed)
+    for key, value in damage.items():
+        print(f"  {key}: {value:.2f}")
+    print(
+        "\nThe part geometry is off by "
+        f"{damage['hausdorff_mm']:.1f} mm worst-case - physical damage"
+        "\ncaused entirely from the cyber domain, which the acoustic"
+        "\nside-channel detector (see attack_detection.py) can flag."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Closing the loop: scoring side-channel defenses at design time.
+
+After GAN-Sec reveals that the printer's sound leaks its G-code
+(see side_channel_attack.py), the designer wants a fix.  This example
+evaluates two defenses — an active masking emitter and controller-side
+feed-rate dithering — by re-running the same CGAN-based attack against
+the defended machine and reporting the leakage drop.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.security import (
+    AcousticMasking,
+    CombinedDefense,
+    FeedRateDithering,
+    evaluate_defense,
+)
+
+SEED = 13
+
+
+def main():
+    defenses = [
+        AcousticMasking(level=1.0),
+        AcousticMasking(level=4.0),
+        FeedRateDithering(0.4),
+        CombinedDefense([FeedRateDithering(0.4), AcousticMasking(level=4.0)]),
+    ]
+    print("evaluating defenses (each trains a fresh attacker CGAN) ...\n")
+    reports = []
+    for defense in defenses:
+        report = evaluate_defense(
+            defense, n_moves_per_axis=25, iterations=1200, seed=SEED
+        )
+        reports.append(report)
+        print(" ", report.summary())
+
+    baseline = reports[0].baseline_accuracy
+    best = min(reports, key=lambda r: r.defended_accuracy)
+    print(
+        f"\nBaseline attack accuracy {baseline:.1%} (chance 33.3%)."
+        f"\nBest defense: {best.defense_name}"
+        f"\n  -> residual attack accuracy {best.defended_accuracy:.1%}, "
+        f"MI reduced by {best.mi_reduction_bits:.2f} bits/feature."
+        "\n\nThe designer can iterate defenses entirely at design time,"
+        "\nusing the CGAN attacker as the metric - no physical prototype"
+        "\nor real attack needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

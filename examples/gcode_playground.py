@@ -1,0 +1,82 @@
+"""Walkthrough of the manufacturing substrate: G-code → motion → sound.
+
+Shows each stage of the simulated testbed the reproduction substitutes
+for the paper's physical 3D printer: parsing, kinematic planning,
+stepper step frequencies, acoustic synthesis, and CWT featureization.
+
+Run:  python examples/gcode_playground.py
+"""
+
+import numpy as np
+
+from repro.dsp import FrequencyFeatureExtractor
+from repro.manufacturing import (
+    GCodeProgram,
+    Printer3D,
+    rectangle_program,
+)
+from repro.utils.ascii_plot import ascii_line_plot
+
+PROGRAM_TEXT = """
+G21            ; millimeters
+G90            ; absolute positioning
+G28            ; home
+G1 F1200 X20   ; X motor only: 20 mm/s -> 1600 Hz step tone
+G1 F1200 Y15   ; Y motor only
+G1 F120  Z2    ; Z motor: lead screw, 2 mm/s -> 800 Hz + 2.6 kHz resonance
+G4 P300        ; dwell (near-silence)
+G1 F1200 X0 Y0 ; diagonal: X and Y together
+"""
+
+
+def main():
+    program = GCodeProgram.from_text(PROGRAM_TEXT, name="demo")
+    print(f"parsed {len(program)} commands; canonical form:")
+    print(program.to_text())
+
+    printer = Printer3D(sample_rate=12000.0, seed=0)
+    print("\n-- kinematic plan --")
+    segments = printer.plan(program)
+    for seg in segments:
+        freqs = {a: f"{f:.0f}Hz" for a, f in seg.step_frequencies.items()}
+        print(
+            f"  seg#{seg.index}: axes={sorted(seg.active_axes) or 'dwell'} "
+            f"duration={seg.duration:.2f}s step-freqs={freqs or '-'}"
+        )
+
+    print("\n-- acoustic rendering --")
+    run = printer.run(program, seed=1)
+    print(f"  microphone trace: {run.audio}")
+    for i, seg in enumerate(run.segments):
+        rms = run.segment_audio(i).rms()
+        print(f"  seg#{seg.index} rms={rms:.3f}")
+
+    print("\n-- CWT features of the X move vs the Z move --")
+    extractor = FrequencyFeatureExtractor(printer.sample_rate, n_bins=60)
+    x_seg = run.segment_audio(0).samples
+    z_seg = run.segment_audio(2).samples
+    fx = extractor.raw_features(x_seg)
+    fz = extractor.raw_features(z_seg)
+    print(
+        ascii_line_plot(
+            {"X move": fx / fx.max(), "Z move": fz / fz.max()},
+            title="normalized spectra over 60 log-spaced bins (50-5000 Hz)",
+            xlabel="bin (50 Hz ... 5000 Hz, log-spaced)",
+            height=12,
+        )
+    )
+    print(
+        f"\nX spectrum peaks at {extractor.frequencies[np.argmax(fx)]:.0f} Hz, "
+        f"Z at {extractor.frequencies[np.argmax(fz)]:.0f} Hz - these"
+        "\nmotor-specific signatures are exactly what the CGAN learns to"
+        "\nassociate with the G-code conditions."
+    )
+
+    print("\n-- a realistic part: rectangle perimeter --")
+    rect = rectangle_program(30, 20, n_loops=2)
+    rect_run = printer.run(rect, seed=2)
+    print(f"  {rect_run}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""GAN-Sec reproduction: CGAN-based security analysis of Cyber-Physical
+Production Systems (Chhetri et al., DATE 2019).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy neural-network framework (the deep-learning
+    substrate Algorithm 2 runs on).
+``repro.dsp``
+    Signal processing: Morlet CWT, STFT, and the 100-bin 50–5000 Hz
+    frequency-feature extraction from Section IV-B.
+``repro.manufacturing``
+    Simulated additive-manufacturing testbed: G-code, kinematics, stepper
+    motors, acoustic-emission synthesis (substitute for the paper's
+    physical 3D printer + contact microphone).
+``repro.flows``
+    Signal/energy-flow abstractions and condition encodings (Section I-B).
+``repro.graph``
+    CPPS architecture graphs and Algorithm 1 (flow-pair extraction).
+``repro.gan``
+    Conditional GAN and the Algorithm 2 training loop.
+``repro.security``
+    Parzen-window likelihood analysis (Algorithm 3), confidentiality /
+    integrity / availability analyses, mutual information.
+``repro.pipeline``
+    The end-to-end GAN-Sec methodology (Figure 4).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ArchitectureError,
+    ConfigurationError,
+    DataError,
+    GCodeError,
+    GanSecError,
+    NotFittedError,
+    SerializationError,
+    ShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ArchitectureError",
+    "ConfigurationError",
+    "DataError",
+    "GCodeError",
+    "GanSecError",
+    "NotFittedError",
+    "SerializationError",
+    "ShapeError",
+]

@@ -1,0 +1,284 @@
+"""Command-line interface for the GAN-Sec reproduction.
+
+Subcommands mirror the pipeline stages so each step can run (and be
+cached on disk) independently:
+
+* ``record``   — simulate the printer and save the labeled dataset;
+* ``graph``    — run Algorithm 1 on the printer architecture and print
+  the G_CPPS listing / DOT;
+* ``train``    — train a CGAN on a recorded dataset and save it;
+* ``analyze``  — load a trained CGAN + dataset and print the full
+  security report;
+* ``table1``   — regenerate the paper's Table I for a trained model.
+
+Examples
+--------
+::
+
+    python -m repro.cli record --out run/dataset.npz --moves 35 --seed 7
+    python -m repro.cli train --dataset run/dataset.npz --out run/model --iterations 2500
+    python -m repro.cli analyze --dataset run/dataset.npz --model run/model
+    python -m repro.cli table1 --dataset run/dataset.npz --model run/model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.flows.io import load_dataset, save_dataset
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.serialization import load_cgan, save_cgan
+from repro.graph import adjacency_listing, flow_listing, generate, to_dot
+from repro.manufacturing import (
+    monitored_flow_names,
+    printer_architecture,
+    record_case_study_dataset,
+)
+from repro.security import (
+    build_security_report,
+    choose_analysis_feature,
+    likelihood_h_sweep,
+)
+from repro.utils.tables import format_grouped_table
+
+
+def _cmd_record(args) -> int:
+    dataset, _extractor, _encoder, runs = record_case_study_dataset(
+        n_moves_per_axis=args.moves,
+        seed=args.seed,
+        n_bins=args.bins,
+        sample_rate=args.sample_rate,
+    )
+    path = save_dataset(dataset, args.out)
+    total = sum(len(r.segments) for r in runs)
+    print(f"recorded {dataset} ({total} raw segments) -> {path}")
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    result = generate(printer_architecture(), monitored_flow_names())
+    print(result.summary())
+    print()
+    print(flow_listing(result.graph))
+    print()
+    if args.dot:
+        print(to_dot(result.graph))
+    else:
+        print(adjacency_listing(result.graph))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = load_dataset(args.dataset)
+    train, test = dataset.split(args.test_fraction, seed=args.seed)
+    cgan = ConditionalGAN(
+        dataset.feature_dim, dataset.condition_dim, seed=args.seed
+    )
+    print(
+        f"training CGAN on {len(train)} samples "
+        f"({args.iterations} iterations, batch {args.batch_size}) ..."
+    )
+    cgan.train(
+        train,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        k_disc=args.k_disc,
+    )
+    final = cgan.history.final()
+    print(
+        f"final losses: D={final['d_loss']:.3f} G={final['g_loss']:.3f} "
+        f"(D fooled at 2ln2={2 * np.log(2):.3f})"
+    )
+    save_cgan(cgan, args.out)
+    print(f"model saved -> {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    dataset = load_dataset(args.dataset)
+    cgan = load_cgan(args.model)
+    _train, test = dataset.split(args.test_fraction, seed=args.seed)
+    report = build_security_report(
+        cgan,
+        test,
+        pair_name=dataset.name,
+        h=args.h,
+        g_size=args.g_size,
+        seed=args.seed,
+    )
+    print(report.to_text())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    dataset = load_dataset(args.dataset)
+    cgan = load_cgan(args.model)
+    train, test = dataset.split(args.test_fraction, seed=args.seed)
+    ft = choose_analysis_feature(
+        cgan, train, h=0.2, objective="peak", seed=args.seed
+    )
+    h_values = (0.2, 0.4, 0.6, 0.8, 1.0)
+    sweep = likelihood_h_sweep(
+        cgan,
+        test,
+        h_values=h_values,
+        feature_indices=[ft],
+        g_size=args.g_size,
+        seed=args.seed,
+    )
+    conds = test.unique_conditions()
+    values = [
+        [
+            [
+                float(sweep[h].avg_correct[ci, 0]),
+                float(sweep[h].avg_incorrect[ci, 0]),
+            ]
+            for h in h_values
+        ]
+        for ci in range(len(conds))
+    ]
+    print(
+        format_grouped_table(
+            [f"Cond{i + 1}" for i in range(len(conds))],
+            [f"h={h:g}" for h in h_values],
+            ["Cor", "Inc"],
+            values,
+            title=f"Table I (feature #{ft})",
+        )
+    )
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.security import (
+        EmissionAttackDetector,
+        axis_swap_attack,
+        feature_leakage_profile,
+        roc_curve,
+    )
+
+    dataset = load_dataset(args.dataset)
+    cgan = load_cgan(args.model)
+    train, test = dataset.split(args.test_fraction, seed=args.seed)
+    top = np.argsort(feature_leakage_profile(train))[::-1][: args.top_features]
+    detector = EmissionAttackDetector(
+        cgan,
+        dataset.unique_conditions(),
+        h=args.h,
+        g_size=args.g_size,
+        feature_indices=top,
+        seed=args.seed,
+    ).fit()
+    detector.calibrate(train, false_positive_rate=args.fpr)
+    attack_features, attack_claims = axis_swap_attack(test, seed=args.seed)
+    report = detector.evaluate(test, attack_features, attack_claims)
+    print(report.summary())
+    curve = roc_curve(report.clean_scores, report.attack_scores)
+    print()
+    print(curve.to_table())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.pipeline.experiment import ExperimentConfig, run_experiment
+
+    if args.config:
+        config = ExperimentConfig.from_json(args.config)
+    else:
+        config = ExperimentConfig(
+            seed=args.seed,
+            n_moves_per_axis=args.moves,
+            iterations=args.iterations,
+        )
+    result = run_experiment(config, args.out)
+    print(f"experiment artifacts written to {result.directory}")
+    for key, value in result.summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gansec",
+        description="GAN-Sec: CGAN-based security analysis of CPPS (DATE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="simulate the printer and save a dataset")
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--moves", type=int, default=35, help="moves per axis")
+    p.add_argument("--bins", type=int, default=100, help="frequency bins")
+    p.add_argument("--sample-rate", type=float, default=12000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser("graph", help="run Algorithm 1 and print G_CPPS")
+    p.add_argument("--dot", action="store_true", help="print Graphviz DOT")
+    p.set_defaults(func=_cmd_graph)
+
+    p = sub.add_parser("train", help="train a CGAN on a recorded dataset")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--out", required=True, help="output model directory")
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--k-disc", type=int, default=1)
+    p.add_argument("--test-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("analyze", help="print the security report")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--h", type=float, default=0.2, help="Parzen window width")
+    p.add_argument("--g-size", type=int, default=200)
+    p.add_argument("--test-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "experiment",
+        help="run a full case-study experiment into an artifact directory",
+    )
+    p.add_argument("--out", required=True, help="artifact directory")
+    p.add_argument("--config", help="JSON ExperimentConfig (overrides flags)")
+    p.add_argument("--moves", type=int, default=30)
+    p.add_argument("--iterations", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "detect", help="evaluate integrity-attack detection (axis swap)"
+    )
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--h", type=float, default=0.2)
+    p.add_argument("--g-size", type=int, default=200)
+    p.add_argument("--top-features", type=int, default=20,
+                   help="score on the k most leaky feature bins")
+    p.add_argument("--fpr", type=float, default=0.05,
+                   help="false-positive budget for threshold calibration")
+    p.add_argument("--test-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--g-size", type=int, default=300)
+    p.add_argument("--test-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

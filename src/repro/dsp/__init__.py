@@ -1,0 +1,59 @@
+"""Signal-processing substrate: windows, STFT, Morlet CWT, and the
+paper's 100-bin 50–5000 Hz frequency-feature extraction (Section IV-B).
+"""
+
+from repro.dsp.windows import (
+    blackman,
+    gaussian,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+)
+from repro.dsp.stft import frame_signal, power_spectrum, stft
+from repro.dsp.wavelet import (
+    DEFAULT_OMEGA0,
+    average_band_energy,
+    cwt_morlet,
+    frequency_to_scale,
+    morlet_center_frequency,
+    morlet_wavelet,
+    scalogram,
+)
+from repro.dsp.features import (
+    DEFAULT_F_MAX,
+    DEFAULT_F_MIN,
+    DEFAULT_N_BINS,
+    FrequencyFeatureExtractor,
+    MinMaxScaler,
+    log_spaced_frequencies,
+    select_features,
+    top_variance_features,
+)
+
+__all__ = [
+    "DEFAULT_F_MAX",
+    "DEFAULT_F_MIN",
+    "DEFAULT_N_BINS",
+    "DEFAULT_OMEGA0",
+    "FrequencyFeatureExtractor",
+    "MinMaxScaler",
+    "average_band_energy",
+    "blackman",
+    "cwt_morlet",
+    "frame_signal",
+    "frequency_to_scale",
+    "gaussian",
+    "get_window",
+    "hamming",
+    "hann",
+    "log_spaced_frequencies",
+    "morlet_center_frequency",
+    "morlet_wavelet",
+    "power_spectrum",
+    "rectangular",
+    "scalogram",
+    "select_features",
+    "stft",
+    "top_variance_features",
+]

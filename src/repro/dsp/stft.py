@@ -1,0 +1,76 @@
+"""Short-time Fourier transform (used as the ablation alternative to the
+paper's continuous wavelet transform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_array
+from repro.dsp.windows import get_window
+
+
+def frame_signal(x: np.ndarray, frame_len: int, hop: int) -> np.ndarray:
+    """Slice *x* into overlapping frames ``(n_frames, frame_len)``.
+
+    The tail that does not fill a whole frame is zero-padded so no samples
+    are silently dropped (important when aligning spectra with G-code
+    segment boundaries).
+    """
+    x = check_array(x, "x", ndim=1)
+    if frame_len <= 0:
+        raise ConfigurationError(f"frame_len must be > 0, got {frame_len}")
+    if hop <= 0:
+        raise ConfigurationError(f"hop must be > 0, got {hop}")
+    n = len(x)
+    n_frames = max(1, int(np.ceil(max(n - frame_len, 0) / hop)) + 1)
+    padded_len = (n_frames - 1) * hop + frame_len
+    padded = np.zeros(padded_len, dtype=np.float64)
+    padded[:n] = x
+    idx = np.arange(frame_len)[None, :] + hop * np.arange(n_frames)[:, None]
+    return padded[idx]
+
+
+def stft(
+    x: np.ndarray,
+    sample_rate: float,
+    *,
+    frame_len: int = 1024,
+    hop: int | None = None,
+    window: str = "hann",
+):
+    """Magnitude STFT.
+
+    Returns
+    -------
+    freqs:
+        Frequency axis in Hz, shape ``(frame_len // 2 + 1,)``.
+    times:
+        Frame-center times in seconds, shape ``(n_frames,)``.
+    mags:
+        Magnitude spectrogram, shape ``(n_frames, n_freqs)``.
+    """
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample_rate must be > 0, got {sample_rate}")
+    hop = hop if hop is not None else frame_len // 2
+    frames = frame_signal(x, frame_len, hop)
+    win = get_window(window, frame_len)
+    spec = np.fft.rfft(frames * win[None, :], axis=1)
+    mags = np.abs(spec)
+    freqs = np.fft.rfftfreq(frame_len, d=1.0 / sample_rate)
+    times = (np.arange(frames.shape[0]) * hop + frame_len / 2.0) / sample_rate
+    return freqs, times, mags
+
+
+def power_spectrum(x: np.ndarray, sample_rate: float, *, window: str = "hann"):
+    """Single-frame power spectrum of the whole signal.
+
+    Returns ``(freqs, power)`` where power is ``|FFT|^2 / n``.
+    """
+    x = check_array(x, "x", ndim=1)
+    win = get_window(window, len(x))
+    spec = np.fft.rfft(x * win)
+    power = (np.abs(spec) ** 2) / len(x)
+    freqs = np.fft.rfftfreq(len(x), d=1.0 / sample_rate)
+    return freqs, power

@@ -1,0 +1,127 @@
+"""Continuous wavelet transform with a Morlet mother wavelet.
+
+Section IV-B of the paper converts the time-domain acoustic energy flow
+into frequency-domain features with a continuous wavelet transform
+("which preserves the high-frequency resolution in time-domain as well")
+before binning into 100 non-uniform frequency bins between 50 and
+5000 Hz.  This module implements that transform from scratch:
+
+* an analytic (complex) Morlet mother wavelet,
+* an FFT-based convolution across a bank of scales,
+* helpers to map target frequencies to scales.
+
+The implementation follows the standard Torrence & Compo (1998)
+formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_array
+
+#: Default Morlet center frequency (rad/s, dimensionless omega0).  6.0 is
+#: the common choice that satisfies the admissibility condition well.
+DEFAULT_OMEGA0 = 6.0
+
+
+def morlet_center_frequency(omega0: float = DEFAULT_OMEGA0) -> float:
+    """Pseudo-frequency (cycles per unit scale) of the Morlet wavelet.
+
+    For scale ``s`` and sampling period ``dt``, the equivalent Fourier
+    frequency is ``f = center / (s * dt)``.
+    """
+    return (omega0 + np.sqrt(2.0 + omega0**2)) / (4.0 * np.pi)
+
+
+def frequency_to_scale(freq_hz, sample_rate: float, omega0: float = DEFAULT_OMEGA0):
+    """Scale(s) whose Morlet pseudo-frequency equals *freq_hz*."""
+    freq = np.asarray(freq_hz, dtype=np.float64)
+    if np.any(freq <= 0):
+        raise ConfigurationError("frequencies must be > 0")
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample_rate must be > 0, got {sample_rate}")
+    center = morlet_center_frequency(omega0)
+    return center * sample_rate / freq
+
+
+def morlet_wavelet(t: np.ndarray, omega0: float = DEFAULT_OMEGA0) -> np.ndarray:
+    """Complex Morlet mother wavelet sampled at times *t* (unit scale)."""
+    t = np.asarray(t, dtype=np.float64)
+    norm = np.pi ** (-0.25)
+    return norm * np.exp(1j * omega0 * t) * np.exp(-0.5 * t * t)
+
+
+def cwt_morlet(
+    x: np.ndarray,
+    sample_rate: float,
+    frequencies: np.ndarray,
+    *,
+    omega0: float = DEFAULT_OMEGA0,
+) -> np.ndarray:
+    """Morlet CWT of *x* evaluated at the given *frequencies*.
+
+    Implemented in the Fourier domain: for each scale ``s`` the transform
+    is ``ifft(fft(x) * conj(Psi_hat(s * w)))`` with the scale-normalized
+    Morlet spectrum ``Psi_hat``.  This is O(n log n) per scale and exact
+    up to FFT roundoff for periodic extension.
+
+    Returns
+    -------
+    ndarray of shape ``(len(frequencies), len(x))`` with complex
+    coefficients; take ``np.abs`` for the scalogram.
+    """
+    x = check_array(x, "x", ndim=1)
+    freqs = check_array(frequencies, "frequencies", ndim=1)
+    if np.any(freqs <= 0):
+        raise ConfigurationError("all analysis frequencies must be > 0")
+    nyquist = sample_rate / 2.0
+    if np.any(freqs > nyquist):
+        raise ConfigurationError(
+            f"analysis frequencies exceed Nyquist ({nyquist} Hz): max={freqs.max()}"
+        )
+    n = len(x)
+    scales = frequency_to_scale(freqs, sample_rate, omega0)
+    # Angular frequencies of the DFT bins (per-sample units).
+    w = 2.0 * np.pi * np.fft.fftfreq(n)
+    xf = np.fft.fft(x)
+    out = np.empty((len(freqs), n), dtype=np.complex128)
+    norm_const = np.pi ** (-0.25)
+    for i, s in enumerate(scales):
+        sw = s * w
+        # Analytic Morlet: support only on positive frequencies.
+        psi_hat = np.zeros(n, dtype=np.float64)
+        pos = w > 0
+        psi_hat[pos] = norm_const * np.exp(-0.5 * (sw[pos] - omega0) ** 2)
+        # sqrt(2 pi s / dt) normalization keeps amplitude comparable
+        # across scales (Torrence & Compo Eq. 6); dt = 1 sample here.
+        psi_hat *= np.sqrt(2.0 * np.pi * s)
+        out[i] = np.fft.ifft(xf * psi_hat)
+    return out
+
+
+def scalogram(
+    x: np.ndarray,
+    sample_rate: float,
+    frequencies: np.ndarray,
+    *,
+    omega0: float = DEFAULT_OMEGA0,
+) -> np.ndarray:
+    """Magnitude of the Morlet CWT: shape ``(n_freqs, n_samples)``."""
+    return np.abs(cwt_morlet(x, sample_rate, frequencies, omega0=omega0))
+
+
+def average_band_energy(
+    x: np.ndarray,
+    sample_rate: float,
+    frequencies: np.ndarray,
+    *,
+    omega0: float = DEFAULT_OMEGA0,
+) -> np.ndarray:
+    """Time-averaged CWT magnitude per analysis frequency.
+
+    This is the per-segment feature the case study feeds to the CGAN: one
+    magnitude per frequency bin for a window of audio.
+    """
+    return scalogram(x, sample_rate, frequencies, omega0=omega0).mean(axis=1)

@@ -1,0 +1,81 @@
+"""Window functions for spectral analysis.
+
+Implemented from scratch (small, dependency-free) so the STFT and CWT
+modules control their exact numerical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def rectangular(n: int) -> np.ndarray:
+    """All-ones window of length *n*."""
+    _check_len(n)
+    return np.ones(n, dtype=np.float64)
+
+
+def hann(n: int) -> np.ndarray:
+    """Periodic Hann window (suitable for overlap-add STFT)."""
+    _check_len(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / n)
+
+
+def hamming(n: int) -> np.ndarray:
+    """Periodic Hamming window."""
+    _check_len(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * k / n)
+
+
+def blackman(n: int) -> np.ndarray:
+    """Periodic Blackman window."""
+    _check_len(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    phase = 2.0 * np.pi * k / n
+    return 0.42 - 0.5 * np.cos(phase) + 0.08 * np.cos(2.0 * phase)
+
+
+def gaussian(n: int, sigma: float = 0.4) -> np.ndarray:
+    """Gaussian window; *sigma* is relative to half the window length."""
+    _check_len(n)
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+    half = (n - 1) / 2.0
+    k = np.arange(n) - half
+    denom = sigma * half if half > 0 else 1.0
+    return np.exp(-0.5 * (k / denom) ** 2)
+
+
+_REGISTRY = {
+    "rectangular": rectangular,
+    "hann": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+    "gaussian": gaussian,
+}
+
+
+def get_window(name: str, n: int) -> np.ndarray:
+    """Look a window up by name and evaluate it at length *n*."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown window {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return fn(n)
+
+
+def _check_len(n: int):
+    if n <= 0:
+        raise ConfigurationError(f"window length must be > 0, got {n}")

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the GAN-Sec reproduction library.
+
+All library-raised exceptions derive from :class:`GanSecError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class GanSecError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(GanSecError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class ShapeError(GanSecError):
+    """An array argument had the wrong shape or dimensionality."""
+
+
+class NotFittedError(GanSecError):
+    """A model-like object was used before being trained/fitted."""
+
+
+class DataError(GanSecError):
+    """Input data is empty, misaligned, or otherwise unusable."""
+
+
+class GCodeError(GanSecError):
+    """A G-code program could not be parsed or executed."""
+
+
+class ArchitectureError(GanSecError):
+    """A CPPS architecture description is malformed (unknown nodes,
+    duplicate flows, flows referencing missing components, ...)."""
+
+
+class SerializationError(GanSecError):
+    """A model or dataset could not be saved or loaded."""

@@ -1,0 +1,143 @@
+"""Condition encodings for the conditional GAN (paper Section IV-B).
+
+The case study one-hot encodes which stepper motor runs between two
+consecutive G-code lines: X → ``[1,0,0]``, Y → ``[0,1,0]``, Z →
+``[0,0,1]``.  The paper also proposes an extension: "for three physical
+components and their combination, the one-hot encoding can be of size
+``2^3 = 8``" — i.e. one slot per *subset* of active motors.
+
+Encoders here operate on ``frozenset`` of active axis names so they stay
+independent of the G-code machinery (which computes the active sets).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+class ConditionEncoder:
+    """Base interface: active-axis set <-> condition vector."""
+
+    #: Length of the produced condition vectors.
+    size: int
+
+    def encode(self, active) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def decode(self, vector) -> frozenset:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def encode_many(self, actives) -> np.ndarray:
+        """Stack encodings of an iterable of active-axis sets."""
+        rows = [self.encode(a) for a in actives]
+        if not rows:
+            raise DataError("no active-axis sets to encode")
+        return np.vstack(rows)
+
+    def labels(self) -> list:
+        """All representable conditions, in slot order."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class SingleMotorEncoder(ConditionEncoder):
+    """The paper's 3-slot encoding: exactly one motor active at a time.
+
+    ``axes`` defaults to ``("X", "Y", "Z")`` giving the paper's
+    ``Cond1=[1,0,0]``, ``Cond2=[0,1,0]``, ``Cond3=[0,0,1]``.
+    """
+
+    def __init__(self, axes=("X", "Y", "Z")):
+        axes = tuple(axes)
+        if len(set(axes)) != len(axes) or not axes:
+            raise ConfigurationError(f"axes must be distinct and non-empty: {axes}")
+        self.axes = axes
+        self.size = len(axes)
+
+    def encode(self, active) -> np.ndarray:
+        active = frozenset(active)
+        if len(active) != 1:
+            raise DataError(
+                f"SingleMotorEncoder needs exactly one active axis, got {set(active)}"
+            )
+        (axis,) = active
+        if axis not in self.axes:
+            raise DataError(f"unknown axis {axis!r}; encoder axes are {self.axes}")
+        vec = np.zeros(self.size, dtype=np.float64)
+        vec[self.axes.index(axis)] = 1.0
+        return vec
+
+    def decode(self, vector) -> frozenset:
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.size,):
+            raise DataError(f"condition vector must have shape ({self.size},)")
+        hot = np.flatnonzero(np.isclose(vec, 1.0))
+        if len(hot) != 1 or not np.allclose(np.delete(vec, hot), 0.0):
+            raise DataError(f"not a valid one-hot vector: {vec.tolist()}")
+        return frozenset({self.axes[int(hot[0])]})
+
+    def labels(self) -> list:
+        return [frozenset({axis}) for axis in self.axes]
+
+    def condition_name(self, active) -> str:
+        """Paper-style name: Cond1 for X, Cond2 for Y, Cond3 for Z."""
+        (axis,) = frozenset(active)
+        return f"Cond{self.axes.index(axis) + 1}"
+
+    def __repr__(self):
+        return f"SingleMotorEncoder(axes={self.axes})"
+
+
+class CombinationEncoder(ConditionEncoder):
+    """The paper's proposed ``2^n`` extension: one slot per axis subset.
+
+    Slot order enumerates subsets by size then lexicographically, with
+    the empty set (no motor running — idle/dwell) first.
+    """
+
+    def __init__(self, axes=("X", "Y", "Z")):
+        axes = tuple(axes)
+        if len(set(axes)) != len(axes) or not axes:
+            raise ConfigurationError(f"axes must be distinct and non-empty: {axes}")
+        self.axes = axes
+        subsets = chain.from_iterable(
+            combinations(axes, r) for r in range(len(axes) + 1)
+        )
+        self._subsets = [frozenset(s) for s in subsets]
+        self._index = {s: i for i, s in enumerate(self._subsets)}
+        self.size = len(self._subsets)
+
+    def encode(self, active) -> np.ndarray:
+        active = frozenset(active)
+        if active not in self._index:
+            unknown = active - set(self.axes)
+            raise DataError(
+                f"active set {set(active)} not encodable; unknown axes {set(unknown)}"
+            )
+        vec = np.zeros(self.size, dtype=np.float64)
+        vec[self._index[active]] = 1.0
+        return vec
+
+    def decode(self, vector) -> frozenset:
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.size,):
+            raise DataError(f"condition vector must have shape ({self.size},)")
+        hot = np.flatnonzero(np.isclose(vec, 1.0))
+        if len(hot) != 1 or not np.allclose(np.delete(vec, hot), 0.0):
+            raise DataError(f"not a valid one-hot vector: {vec.tolist()}")
+        return self._subsets[int(hot[0])]
+
+    def labels(self) -> list:
+        return list(self._subsets)
+
+    def __repr__(self):
+        return f"CombinationEncoder(axes={self.axes}, size={self.size})"
+
+
+def condition_label(active) -> str:
+    """Human-readable label for an active-axis set, e.g. ``"X+Y"`` or ``"idle"``."""
+    active = sorted(frozenset(active))
+    return "+".join(active) if active else "idle"

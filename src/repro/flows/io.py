@@ -1,0 +1,48 @@
+"""Persistence for flow-pair datasets (npz archives)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.flows.dataset import FlowPairDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: FlowPairDataset, path) -> Path:
+    """Write *dataset* to ``path`` as an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        features=dataset.features,
+        conditions=dataset.conditions,
+        name=np.frombuffer(dataset.name.encode(), dtype=np.uint8),
+        version=np.array([_FORMAT_VERSION]),
+    )
+    return path
+
+
+def load_dataset(path) -> FlowPairDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such dataset file: {path}")
+    try:
+        with np.load(path) as data:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported dataset format version {version}"
+                )
+            name = bytes(data["name"]).decode()
+            return FlowPairDataset(
+                data["features"], data["conditions"], name=name
+            )
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"cannot read dataset {path}: {exc}") from exc

@@ -1,0 +1,81 @@
+"""Discrete signal flows (paper Section I-B, "Signal Flow").
+
+A signal flow is a discrete random variable ``F_S`` over *n* possible
+values ``{f_1 .. f_n}`` with events ``E_i = [F_S == f_i]`` whose
+probabilities ``Pr(E_i)`` are estimated empirically from observations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.rng import as_rng
+
+
+class SignalFlowData:
+    """Observed samples of a discrete signal flow.
+
+    Parameters
+    ----------
+    values:
+        Sequence of observed symbols (hashable; e.g. one-hot tuples,
+        G-code condition labels, integer codes).
+    name:
+        Flow name this data belongs to.
+    """
+
+    def __init__(self, values, *, name: str = "signal"):
+        values = list(values)
+        if not values:
+            raise DataError(f"signal flow {name!r} has no observations")
+        self.name = name
+        self.values = values
+        self._counter = Counter(values)
+
+    def __len__(self):
+        return len(self.values)
+
+    @property
+    def alphabet(self) -> list:
+        """Sorted list of distinct observed symbols."""
+        return sorted(self._counter, key=repr)
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self._counter)
+
+    def event_probability(self, symbol) -> float:
+        """Empirical ``Pr(E_i)`` for ``F_S == symbol``."""
+        return self._counter.get(symbol, 0) / len(self.values)
+
+    def pmf(self) -> dict:
+        """Full empirical probability mass function as symbol -> prob."""
+        n = len(self.values)
+        return {sym: cnt / n for sym, cnt in self._counter.items()}
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the empirical distribution."""
+        probs = np.array([c / len(self.values) for c in self._counter.values()])
+        return float(-(probs * np.log2(probs)).sum())
+
+    def sample(self, n: int, *, seed=None) -> list:
+        """Draw *n* iid symbols from the empirical distribution."""
+        rng = as_rng(seed)
+        symbols = list(self._counter)
+        probs = np.array([self._counter[s] for s in symbols], dtype=float)
+        probs /= probs.sum()
+        idx = rng.choice(len(symbols), size=n, p=probs)
+        return [symbols[i] for i in idx]
+
+    def indices(self, symbol) -> np.ndarray:
+        """Positions at which *symbol* was observed (for alignment joins)."""
+        return np.array([i for i, v in enumerate(self.values) if v == symbol])
+
+    def __repr__(self):
+        return (
+            f"SignalFlowData(name={self.name!r}, n={len(self)}, "
+            f"symbols={self.n_symbols})"
+        )

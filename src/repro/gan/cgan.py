@@ -1,0 +1,336 @@
+"""Conditional GAN and the paper's Algorithm 2 training loop.
+
+The generator ``G(z | c)`` maps concatenated ``[noise, condition]`` to a
+feature vector; the discriminator ``D(x | c)`` maps ``[features,
+condition]`` to the probability that *x* came from the data rather than
+from G.  Training alternates ``k`` discriminator ascent steps with one
+generator descent step per iteration, exactly as Algorithm 2
+(Goodfellow et al. 2014 / Mirza & Osindero 2014) prescribes.
+
+Two generator objectives are supported:
+
+* ``"minimax"`` — descend ``mean log(1 - D(G(z|c)))``, the literal
+  Line 10 of Algorithm 2;
+* ``"non_saturating"`` — descend ``-mean log D(G(z|c))``, Goodfellow's
+  practical recommendation with identical fixed points but stronger
+  early gradients.  This is the library default; the ablation benchmark
+  ``bench_ablation_gloss`` compares the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.flows.dataset import FlowPairDataset
+from repro.gan.history import TrainingHistory
+from repro.gan.noise import get_noise_prior
+from repro.nn.layers import Dense
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    GeneratorLossMinimax,
+    GeneratorLossNonSaturating,
+    discriminator_loss,
+)
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+def default_generator(feature_dim: int, hidden=(64, 64)) -> list:
+    """Default generator layer stack: ReLU hiddens, sigmoid output.
+
+    A sigmoid head matches the case study's features, which are min-max
+    scaled into [0, 1] (Section IV-C / Figure 8).
+    """
+    layers = [Dense(h, "relu", kernel_init="he_uniform") for h in hidden]
+    layers.append(Dense(feature_dim, "sigmoid"))
+    return layers
+
+
+def default_discriminator(hidden=(64, 32)) -> list:
+    """Default discriminator stack: LeakyReLU hiddens, sigmoid head."""
+    layers = [
+        Dense(h, "leaky_relu", kernel_init="he_uniform") for h in hidden
+    ]
+    layers.append(Dense(1, "sigmoid"))
+    return layers
+
+
+class ConditionalGAN:
+    """A CGAN modeling ``Pr(F_1 | F_2)`` for one flow pair.
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimension of the modeled flow's feature vectors (``F_1``).
+    condition_dim:
+        Dimension of the conditioning vectors (``F_2``), e.g. 3 for the
+        one-hot motor encoding.
+    noise_dim:
+        Dimension of the noise prior Z.
+    generator_layers / discriminator_layers:
+        Optional custom layer stacks (uninitialized
+        :class:`~repro.nn.layers.Layer` lists); defaults follow
+        :func:`default_generator` / :func:`default_discriminator`.
+    noise:
+        ``"gaussian"`` (default), ``"uniform"``, or a
+        :class:`~repro.gan.noise.NoisePrior`.
+    generator_loss:
+        ``"non_saturating"`` (default) or ``"minimax"`` (paper-literal).
+    seed:
+        Seed for weight init and training randomness.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        condition_dim: int,
+        *,
+        noise_dim: int = 16,
+        generator_layers=None,
+        discriminator_layers=None,
+        noise="gaussian",
+        generator_loss: str = "non_saturating",
+        g_optimizer=None,
+        d_optimizer=None,
+        learning_rate: float = 2e-3,
+        seed=None,
+    ):
+        if feature_dim <= 0 or condition_dim <= 0:
+            raise ConfigurationError("feature_dim and condition_dim must be > 0")
+        self.feature_dim = int(feature_dim)
+        self.condition_dim = int(condition_dim)
+        self.noise = get_noise_prior(noise, noise_dim)
+        self.noise_dim = self.noise.dim
+
+        init_rng, self._train_rng = spawn_rngs(seed, 2)
+        g_layers = generator_layers or default_generator(feature_dim)
+        d_layers = discriminator_layers or default_discriminator()
+        self.generator = Sequential(
+            g_layers, input_dim=self.noise_dim + condition_dim, seed=init_rng
+        )
+        if self.generator.output_dim != feature_dim:
+            raise ConfigurationError(
+                f"generator outputs {self.generator.output_dim} features, "
+                f"expected {feature_dim}"
+            )
+        self.discriminator = Sequential(
+            d_layers, input_dim=feature_dim + condition_dim, seed=init_rng
+        )
+        if self.discriminator.output_dim != 1:
+            raise ConfigurationError(
+                f"discriminator must output 1 value, got {self.discriminator.output_dim}"
+            )
+
+        if generator_loss == "minimax":
+            self._g_loss = GeneratorLossMinimax()
+        elif generator_loss == "non_saturating":
+            self._g_loss = GeneratorLossNonSaturating()
+        else:
+            raise ConfigurationError(
+                f"generator_loss must be 'minimax' or 'non_saturating', "
+                f"got {generator_loss!r}"
+            )
+        self.generator_loss_name = generator_loss
+        self._bce = BinaryCrossEntropy()
+        self._g_opt = g_optimizer or Adam(learning_rate)
+        self._d_opt = d_optimizer or Adam(learning_rate)
+        if not hasattr(self._g_opt, "step") or not hasattr(self._d_opt, "step"):
+            raise ConfigurationError("optimizers must expose a step(layers) method")
+
+        self.history = TrainingHistory()
+        self.snapshots: list = []
+        self.trained_iterations = 0
+
+    # -- sampling ----------------------------------------------------------------
+    def sample_noise(self, n: int, *, seed=None) -> np.ndarray:
+        rng = as_rng(seed) if seed is not None else self._train_rng
+        return self.noise.sample(n, rng)
+
+    def generate(self, conditions, *, seed=None) -> np.ndarray:
+        """Generate one sample per condition row: ``G(Z | conditions)``."""
+        conditions = np.asarray(conditions, dtype=np.float64)
+        if conditions.ndim == 1:
+            conditions = conditions[None, :]
+        if conditions.shape[1] != self.condition_dim:
+            raise ConfigurationError(
+                f"conditions must have width {self.condition_dim}, "
+                f"got {conditions.shape[1]}"
+            )
+        z = self.sample_noise(conditions.shape[0], seed=seed)
+        return self.generator.predict(np.hstack([z, conditions]))
+
+    def generate_for_condition(self, condition, n: int, *, seed=None) -> np.ndarray:
+        """Generate *n* samples under a single fixed condition (Algorithm 3
+        Line 6: ``X_G = GSize samples from G(Z|C_i)``)."""
+        condition = np.asarray(condition, dtype=np.float64).ravel()
+        conds = np.tile(condition, (n, 1))
+        return self.generate(conds, seed=seed)
+
+    # -- training -----------------------------------------------------------------
+    def _d_step(self, real_x, real_c, *, label_smoothing: float):
+        """One discriminator ascent step (Algorithm 2, Lines 5–8)."""
+        n = real_x.shape[0]
+        z = self.sample_noise(n)
+        fake_x = self.generator.forward(np.hstack([z, real_c]), training=True)
+        d_in = np.vstack(
+            [np.hstack([real_x, real_c]), np.hstack([fake_x, real_c])]
+        )
+        targets = np.vstack(
+            [
+                np.full((n, 1), 1.0 - label_smoothing),
+                np.zeros((n, 1)),
+            ]
+        )
+        preds = self.discriminator.forward(d_in, training=True)
+        self.discriminator.backward(self._bce.gradient(preds, targets))
+        self._d_opt.step(self.discriminator.layers)
+        return discriminator_loss(preds[:n], preds[n:])
+
+    def _g_step(self, cond_batch):
+        """One generator descent step (Algorithm 2, Lines 9–10).
+
+        The generator gradient flows through the (frozen) discriminator:
+        we backprop the generator loss to the discriminator's *input*,
+        slice off the feature columns, and continue into the generator.
+        The discriminator optimizer is simply not stepped.
+        """
+        n = cond_batch.shape[0]
+        z = self.sample_noise(n)
+        fake_x = self.generator.forward(np.hstack([z, cond_batch]), training=True)
+        d_pred = self.discriminator.forward(
+            np.hstack([fake_x, cond_batch]), training=True
+        )
+        grad_d_in = self.discriminator.backward(self._g_loss.gradient(d_pred))
+        grad_fake = grad_d_in[:, : self.feature_dim]
+        self.generator.backward(grad_fake)
+        self._g_opt.step(self.generator.layers)
+        g_objective = GeneratorLossMinimax().value(d_pred)
+        g_loss = GeneratorLossNonSaturating().value(d_pred)
+        return g_loss, g_objective
+
+    def train(
+        self,
+        dataset: FlowPairDataset,
+        *,
+        iterations: int = 500,
+        batch_size: int = 32,
+        k_disc: int = 1,
+        label_smoothing: float = 0.0,
+        data_fraction=None,
+        snapshot_every: int | None = None,
+        seed=None,
+    ) -> TrainingHistory:
+        """Run Algorithm 2.
+
+        Parameters
+        ----------
+        dataset:
+            Aligned (features, conditions) training data.
+        iterations:
+            Outer-loop count (``Iter``).
+        batch_size:
+            Mini-batch size (``n``).
+        k_disc:
+            Discriminator steps per iteration (``k``).
+        label_smoothing:
+            One-sided smoothing of real labels (0 = off).
+        data_fraction:
+            Optional callable ``iteration -> fraction in (0, 1]``
+            restricting how much of the dataset is visible — models the
+            paper's growing-data training (Figure 7) and
+            attacker-capability limits.
+        snapshot_every:
+            If set, a deep copy of the generator is stored in
+            :attr:`snapshots` every that-many iterations (drives the
+            Figure 9 likelihood-vs-iteration analysis).
+        seed:
+            Optional override for the training RNG stream.
+        """
+        if dataset.feature_dim != self.feature_dim:
+            raise ConfigurationError(
+                f"dataset feature_dim {dataset.feature_dim} != model {self.feature_dim}"
+            )
+        if dataset.condition_dim != self.condition_dim:
+            raise ConfigurationError(
+                f"dataset condition_dim {dataset.condition_dim} != model "
+                f"{self.condition_dim}"
+            )
+        if iterations <= 0:
+            raise ConfigurationError(f"iterations must be > 0, got {iterations}")
+        if k_disc <= 0:
+            raise ConfigurationError(f"k_disc must be > 0, got {k_disc}")
+        if not 0.0 <= label_smoothing < 0.5:
+            raise ConfigurationError(
+                f"label_smoothing must be in [0, 0.5), got {label_smoothing}"
+            )
+        if seed is not None:
+            self._train_rng = as_rng(seed)
+        rng = self._train_rng
+
+        base = dataset.shuffled(seed=rng)
+        for it in range(iterations):
+            if data_fraction is not None:
+                frac = float(data_fraction(it))
+                if not 0.0 < frac <= 1.0:
+                    raise ConfigurationError(
+                        f"data_fraction must return values in (0,1], got {frac}"
+                    )
+                visible = base.take(
+                    max(1, int(round(frac * len(base)))), seed=rng
+                ) if frac < 1.0 else base
+            else:
+                visible = base
+
+            d_loss = np.nan
+            for _ in range(k_disc):
+                real_x, real_c = visible.sample_batch(batch_size, seed=rng)
+                d_loss = self._d_step(
+                    real_x, real_c, label_smoothing=label_smoothing
+                )
+            _, cond_batch = visible.sample_batch(batch_size, seed=rng)
+            g_loss, g_objective = self._g_step(cond_batch)
+
+            self.trained_iterations += 1
+            self.history.record(
+                self.trained_iterations, d_loss, g_loss, g_objective, len(visible)
+            )
+            if snapshot_every and (it + 1) % snapshot_every == 0:
+                self.snapshots.append(
+                    (self.trained_iterations, self.generator.clone())
+                )
+        return self.history
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self.trained_iterations > 0
+
+    def require_trained(self):
+        if not self.is_trained:
+            raise NotFittedError(
+                "ConditionalGAN used before train(); call train(dataset) first"
+            )
+
+    def discriminator_score(self, features, conditions) -> np.ndarray:
+        """``D(x | c)`` for aligned feature/condition rows."""
+        features = np.asarray(features, dtype=np.float64)
+        conditions = np.asarray(conditions, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        if conditions.ndim == 1:
+            conditions = np.tile(conditions, (features.shape[0], 1))
+        if features.shape[0] != conditions.shape[0]:
+            raise DataError("features and conditions row counts differ")
+        return self.discriminator.predict(
+            np.hstack([features, conditions])
+        ).ravel()
+
+    def __repr__(self):
+        return (
+            f"ConditionalGAN(feature_dim={self.feature_dim}, "
+            f"condition_dim={self.condition_dim}, noise_dim={self.noise_dim}, "
+            f"loss={self.generator_loss_name!r}, "
+            f"iterations={self.trained_iterations})"
+        )

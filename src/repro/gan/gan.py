@@ -1,0 +1,66 @@
+"""Unconditional GAN — the baseline without conditioning.
+
+Used by the ablation benchmarks to quantify what the *conditional*
+structure buys: an unconditional GAN learns the marginal ``Pr(F_1)``
+only, so its Parzen likelihoods cannot separate conditions.  It is
+implemented as a thin wrapper around :class:`ConditionalGAN` with a
+constant dummy condition, which keeps one battle-tested training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flows.dataset import FlowPairDataset
+from repro.gan.cgan import ConditionalGAN
+
+
+class GAN:
+    """Unconditional GAN over feature vectors.
+
+    Accepts the same constructor options as :class:`ConditionalGAN`
+    except ``condition_dim`` (internally 1, fed a constant zero).
+    """
+
+    def __init__(self, feature_dim: int, **kwargs):
+        kwargs.pop("condition_dim", None)
+        self._cgan = ConditionalGAN(feature_dim, 1, **kwargs)
+
+    @property
+    def feature_dim(self) -> int:
+        return self._cgan.feature_dim
+
+    @property
+    def history(self):
+        return self._cgan.history
+
+    @property
+    def generator(self):
+        return self._cgan.generator
+
+    @property
+    def discriminator(self):
+        return self._cgan.discriminator
+
+    @property
+    def is_trained(self) -> bool:
+        return self._cgan.is_trained
+
+    @staticmethod
+    def _wrap(features: np.ndarray) -> FlowPairDataset:
+        features = np.asarray(features, dtype=np.float64)
+        dummy = np.zeros((features.shape[0], 1))
+        return FlowPairDataset(features, dummy, name="unconditional")
+
+    def train(self, features, **kwargs):
+        """Train on a plain feature matrix (no conditions)."""
+        if isinstance(features, FlowPairDataset):
+            features = features.features
+        return self._cgan.train(self._wrap(features), **kwargs)
+
+    def generate(self, n: int, *, seed=None) -> np.ndarray:
+        """Draw *n* samples from the learned marginal distribution."""
+        return self._cgan.generate_for_condition(np.zeros(1), n, seed=seed)
+
+    def __repr__(self):
+        return f"GAN(feature_dim={self.feature_dim}, iterations={self._cgan.trained_iterations})"

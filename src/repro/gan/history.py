@@ -1,0 +1,131 @@
+"""Training history records for GAN runs (drives Figures 7 and 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration loss traces of an Algorithm 2 run.
+
+    Attributes
+    ----------
+    iterations:
+        Global iteration numbers at which metrics were recorded.
+    d_loss:
+        Discriminator loss ``-(mean log D(real) + mean log(1-D(fake)))``.
+        Low = D wins; rises toward ``2 ln 2 ≈ 1.386`` at the ideal
+        equilibrium where D cannot tell real from fake.
+    g_loss:
+        Generator (non-saturating) loss ``-mean log D(G(z|c))``.  High =
+        D easily spots fakes; falls toward ``ln 2 ≈ 0.693`` as G learns.
+    g_objective:
+        The paper's literal Line-10 quantity ``mean log(1 - D(G(z|c)))``.
+    n_train:
+        Training-set size in effect at each record (Figure 7 grows data
+        with iterations).
+    """
+
+    iterations: list = field(default_factory=list)
+    d_loss: list = field(default_factory=list)
+    g_loss: list = field(default_factory=list)
+    g_objective: list = field(default_factory=list)
+    n_train: list = field(default_factory=list)
+
+    def record(self, iteration, d_loss, g_loss, g_objective, n_train):
+        self.iterations.append(int(iteration))
+        self.d_loss.append(float(d_loss))
+        self.g_loss.append(float(g_loss))
+        self.g_objective.append(float(g_objective))
+        self.n_train.append(int(n_train))
+
+    def __len__(self):
+        return len(self.iterations)
+
+    def extend(self, other: "TrainingHistory") -> "TrainingHistory":
+        """Append another history (e.g. from a continued run)."""
+        self.iterations.extend(other.iterations)
+        self.d_loss.extend(other.d_loss)
+        self.g_loss.extend(other.g_loss)
+        self.g_objective.extend(other.g_objective)
+        self.n_train.extend(other.n_train)
+        return self
+
+    def smoothed(self, window: int = 25) -> dict:
+        """Moving-average loss curves for plotting (Figure 7 style)."""
+        if len(self) == 0:
+            raise DataError("history is empty")
+        window = max(1, min(window, len(self)))
+        kernel = np.ones(window) / window
+
+        def smooth(xs):
+            return np.convolve(np.asarray(xs, dtype=float), kernel, mode="valid")
+
+        return {
+            "iterations": np.asarray(self.iterations)[window - 1 :],
+            "d_loss": smooth(self.d_loss),
+            "g_loss": smooth(self.g_loss),
+            "g_objective": smooth(self.g_objective),
+        }
+
+    def to_csv(self, path) -> "Path":
+        """Write the history as CSV (iteration, d_loss, g_loss,
+        g_objective, n_train) for external plotting tools."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["iteration", "d_loss", "g_loss", "g_objective", "n_train"]
+            )
+            for row in zip(
+                self.iterations,
+                self.d_loss,
+                self.g_loss,
+                self.g_objective,
+                self.n_train,
+            ):
+                writer.writerow(row)
+        return path
+
+    @classmethod
+    def from_csv(cls, path) -> "TrainingHistory":
+        """Read a history previously written by :meth:`to_csv`."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        if not path.exists():
+            raise DataError(f"no such history file: {path}")
+        hist = cls()
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            for row in reader:
+                hist.record(
+                    int(row["iteration"]),
+                    float(row["d_loss"]),
+                    float(row["g_loss"]),
+                    float(row["g_objective"]),
+                    int(row["n_train"]),
+                )
+        return hist
+
+    def final(self) -> dict:
+        """Last recorded values."""
+        if len(self) == 0:
+            raise DataError("history is empty")
+        return {
+            "iteration": self.iterations[-1],
+            "d_loss": self.d_loss[-1],
+            "g_loss": self.g_loss[-1],
+            "g_objective": self.g_objective[-1],
+            "n_train": self.n_train[-1],
+        }

@@ -1,0 +1,74 @@
+"""Noise priors ``Pr(Z)`` for GAN generators (Algorithm 2, Line 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_rng
+
+
+class NoisePrior:
+    """Base class: a distribution over ``R^dim`` with a ``sample`` method."""
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ConfigurationError(f"noise dim must be > 0, got {dim}")
+        self.dim = int(dim)
+
+    def sample(self, n: int, rng) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, n: int, seed=None) -> np.ndarray:
+        if n <= 0:
+            raise ConfigurationError(f"sample count must be > 0, got {n}")
+        return self.sample(n, as_rng(seed))
+
+    def __repr__(self):
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class GaussianNoise(NoisePrior):
+    """Standard normal prior — the usual GAN choice."""
+
+    def __init__(self, dim: int, std: float = 1.0):
+        super().__init__(dim)
+        if std <= 0:
+            raise ConfigurationError(f"std must be > 0, got {std}")
+        self.std = float(std)
+
+    def sample(self, n, rng):
+        return rng.normal(0.0, self.std, size=(n, self.dim))
+
+    def __repr__(self):
+        return f"GaussianNoise(dim={self.dim}, std={self.std})"
+
+
+class UniformNoise(NoisePrior):
+    """Uniform prior on ``[low, high)^dim``."""
+
+    def __init__(self, dim: int, low: float = -1.0, high: float = 1.0):
+        super().__init__(dim)
+        if not high > low:
+            raise ConfigurationError(f"need high > low, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, n, rng):
+        return rng.uniform(self.low, self.high, size=(n, self.dim))
+
+    def __repr__(self):
+        return f"UniformNoise(dim={self.dim}, low={self.low}, high={self.high})"
+
+
+def get_noise_prior(spec, dim: int) -> NoisePrior:
+    """Resolve ``"gaussian"`` / ``"uniform"`` / instance into a prior."""
+    if isinstance(spec, NoisePrior):
+        return spec
+    if spec == "gaussian":
+        return GaussianNoise(dim)
+    if spec == "uniform":
+        return UniformNoise(dim)
+    raise ConfigurationError(
+        f"unknown noise prior {spec!r}; choose 'gaussian', 'uniform', or pass a NoisePrior"
+    )

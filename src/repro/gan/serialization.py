@@ -1,0 +1,117 @@
+"""Saving and loading trained Conditional GANs.
+
+A CGAN is stored as a directory containing the generator and
+discriminator weight archives plus a JSON metadata file describing the
+model configuration (dims, noise prior, loss, training progress).
+Loading rebuilds a :class:`~repro.gan.cgan.ConditionalGAN` with default
+layer stacks of the recorded widths and restores both networks —
+enough to resume analysis (Algorithm 3, attackers, detectors) without
+retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.noise import GaussianNoise, UniformNoise
+from repro.nn.layers import Dense
+from repro.nn.serialization import load_weights, save_weights
+
+_META_NAME = "cgan.json"
+_GEN_NAME = "generator.npz"
+_DISC_NAME = "discriminator.npz"
+_FORMAT_VERSION = 1
+
+
+def _layer_widths(network) -> list:
+    """Hidden Dense widths of a default-style stack (all but the head)."""
+    widths = []
+    for layer in network.layers[:-1]:
+        if not isinstance(layer, Dense):
+            raise SerializationError(
+                "only default Dense generator/discriminator stacks are "
+                f"serializable; found {layer!r}"
+            )
+        widths.append(layer.units)
+    return widths
+
+
+def save_cgan(cgan: ConditionalGAN, directory) -> Path:
+    """Serialize *cgan* into *directory* (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if isinstance(cgan.noise, GaussianNoise):
+        noise_spec = {"kind": "gaussian", "dim": cgan.noise.dim, "std": cgan.noise.std}
+    elif isinstance(cgan.noise, UniformNoise):
+        noise_spec = {
+            "kind": "uniform",
+            "dim": cgan.noise.dim,
+            "low": cgan.noise.low,
+            "high": cgan.noise.high,
+        }
+    else:
+        raise SerializationError(
+            f"cannot serialize custom noise prior {cgan.noise!r}"
+        )
+    meta = {
+        "version": _FORMAT_VERSION,
+        "feature_dim": cgan.feature_dim,
+        "condition_dim": cgan.condition_dim,
+        "noise": noise_spec,
+        "generator_hidden": _layer_widths(cgan.generator),
+        "discriminator_hidden": _layer_widths(cgan.discriminator),
+        "generator_loss": cgan.generator_loss_name,
+        "trained_iterations": cgan.trained_iterations,
+    }
+    (directory / _META_NAME).write_text(json.dumps(meta, indent=2))
+    save_weights(cgan.generator, directory / _GEN_NAME)
+    save_weights(cgan.discriminator, directory / _DISC_NAME)
+    return directory
+
+
+def load_cgan(directory) -> ConditionalGAN:
+    """Rebuild a CGAN from a directory written by :func:`save_cgan`."""
+    directory = Path(directory)
+    meta_path = directory / _META_NAME
+    if not meta_path.exists():
+        raise SerializationError(f"no CGAN metadata at {meta_path}")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt CGAN metadata: {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported CGAN format version {meta.get('version')}"
+        )
+    noise_spec = meta["noise"]
+    if noise_spec["kind"] == "gaussian":
+        noise = GaussianNoise(noise_spec["dim"], std=noise_spec["std"])
+    elif noise_spec["kind"] == "uniform":
+        noise = UniformNoise(
+            noise_spec["dim"], low=noise_spec["low"], high=noise_spec["high"]
+        )
+    else:
+        raise SerializationError(f"unknown noise kind {noise_spec['kind']!r}")
+
+    from repro.gan.cgan import default_discriminator, default_generator
+
+    cgan = ConditionalGAN(
+        meta["feature_dim"],
+        meta["condition_dim"],
+        noise=noise,
+        generator_layers=default_generator(
+            meta["feature_dim"], hidden=tuple(meta["generator_hidden"])
+        ),
+        discriminator_layers=default_discriminator(
+            hidden=tuple(meta["discriminator_hidden"])
+        ),
+        generator_loss=meta["generator_loss"],
+        seed=0,
+    )
+    load_weights(cgan.generator, directory / _GEN_NAME)
+    load_weights(cgan.discriminator, directory / _DISC_NAME)
+    cgan.trained_iterations = int(meta["trained_iterations"])
+    return cgan

@@ -1,0 +1,125 @@
+"""CPPS components and sub-systems (paper Figures 1 and 3).
+
+A CPPS decomposes into sub-systems, each containing *cyber* components
+(controllers, firmware, network endpoints) and *physical* components
+(motors, heaters, frames, the environment).  Components are the graph
+nodes of ``G_CPPS``; flows are its edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+
+
+class Domain(enum.Enum):
+    """Which side of the cyber-physical boundary a component lives on."""
+
+    CYBER = "cyber"
+    PHYSICAL = "physical"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Component:
+    """One node of the CPPS graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"C1"`` or ``"P5"`` (paper naming).
+    domain:
+        :class:`Domain` — cyber or physical.
+    label:
+        Human-readable role, e.g. ``"Microcontroller"`` / ``"X stepper"``.
+    external:
+        True for nodes that are not part of the sub-system proper —
+        the paper's ``C4`` (external signal source) and ``P9``
+        (physical environment) are external.
+    """
+
+    name: str
+    domain: Domain
+    label: str = ""
+    external: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ArchitectureError("component name must be non-empty")
+
+    @property
+    def is_cyber(self) -> bool:
+        return self.domain is Domain.CYBER
+
+    @property
+    def is_physical(self) -> bool:
+        return self.domain is Domain.PHYSICAL
+
+    def __str__(self):
+        tag = f" ({self.label})" if self.label else ""
+        return f"{self.name}[{self.domain}]{tag}"
+
+
+def cyber(name: str, label: str = "", *, external: bool = False) -> Component:
+    """Convenience constructor for a cyber-domain component."""
+    return Component(name, Domain.CYBER, label, external)
+
+
+def physical(name: str, label: str = "", *, external: bool = False) -> Component:
+    """Convenience constructor for a physical-domain component."""
+    return Component(name, Domain.PHYSICAL, label, external)
+
+
+@dataclass
+class SubSystem:
+    """A named group of components (paper: ``Sub_1 .. Sub_n``)."""
+
+    name: str
+    components: list = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ArchitectureError("sub-system name must be non-empty")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ArchitectureError(
+                f"sub-system {self.name!r} has duplicate components: {dupes}"
+            )
+
+    def add(self, component: Component) -> "SubSystem":
+        """Add a component, rejecting duplicates."""
+        if any(c.name == component.name for c in self.components):
+            raise ArchitectureError(
+                f"component {component.name!r} already in sub-system {self.name!r}"
+            )
+        self.components.append(component)
+        return self
+
+    @property
+    def cyber_components(self) -> list:
+        return [c for c in self.components if c.is_cyber]
+
+    @property
+    def physical_components(self) -> list:
+        return [c for c in self.components if c.is_physical]
+
+    def component_names(self) -> set:
+        return {c.name for c in self.components}
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __len__(self):
+        return len(self.components)
+
+    def __repr__(self):
+        return (
+            f"SubSystem(name={self.name!r}, cyber={len(self.cyber_components)}, "
+            f"physical={len(self.physical_components)})"
+        )

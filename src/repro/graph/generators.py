@@ -1,0 +1,109 @@
+"""Synthetic CPPS architecture generators.
+
+For scalability experiments and property-based testing, these build
+random-but-plausible factory architectures: layered sub-systems with
+cyber controllers driving physical actuators, intra- and inter-subsystem
+signal/energy flows, and unintentional emissions into a shared
+environment — the Figure 1 topology at arbitrary scale.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.flows.base import EnergyForm
+from repro.graph.architecture import CPPSArchitecture
+from repro.graph.components import SubSystem, cyber, physical
+from repro.utils.rng import as_rng
+
+
+def random_factory(
+    n_subsystems: int = 4,
+    *,
+    cyber_per_subsystem: int = 2,
+    physical_per_subsystem: int = 3,
+    emission_probability: float = 0.6,
+    cross_link_probability: float = 0.5,
+    seed=None,
+) -> CPPSArchitecture:
+    """Generate a layered random factory architecture.
+
+    Every sub-system gets a chain of cyber controllers feeding its
+    physical actuators; consecutive sub-systems are linked by a signal
+    flow (scheduling) and, with *cross_link_probability*, a material
+    flow; each physical component emits into the environment with
+    *emission_probability*.  The result always validates and is always
+    connected, so Algorithm 1 runs on it without special-casing.
+    """
+    if n_subsystems < 1:
+        raise ConfigurationError(f"n_subsystems must be >= 1, got {n_subsystems}")
+    if cyber_per_subsystem < 1 or physical_per_subsystem < 1:
+        raise ConfigurationError("need >= 1 cyber and physical component each")
+    if not 0.0 <= emission_probability <= 1.0:
+        raise ConfigurationError("emission_probability must be in [0, 1]")
+    if not 0.0 <= cross_link_probability <= 1.0:
+        raise ConfigurationError("cross_link_probability must be in [0, 1]")
+    rng = as_rng(seed)
+    arch = CPPSArchitecture(f"factory-{n_subsystems}")
+
+    env = SubSystem("environment")
+    env.add(physical("ENV", "shared environment", external=True))
+    arch.add_subsystem(env)
+
+    flow_id = 0
+
+    def next_flow() -> str:
+        nonlocal flow_id
+        flow_id += 1
+        return f"F{flow_id}"
+
+    first_cyber = []
+    last_physical = []
+    for si in range(n_subsystems):
+        sub = SubSystem(f"sub{si}")
+        cy = [cyber(f"S{si}C{ci}") for ci in range(cyber_per_subsystem)]
+        ph = [physical(f"S{si}P{pi}") for pi in range(physical_per_subsystem)]
+        for comp in cy + ph:
+            sub.add(comp)
+        arch.add_subsystem(sub)
+        first_cyber.append(cy[0].name)
+        last_physical.append(ph[-1].name)
+        # Cyber chain.
+        for a, b in zip(cy, cy[1:]):
+            arch.add_signal_flow(next_flow(), a.name, b.name)
+        # Last controller drives every actuator.
+        for p in ph:
+            arch.add_energy_flow(
+                next_flow(), cy[-1].name, p.name, form=EnergyForm.ELECTRICAL
+            )
+        # Emissions.
+        for p in ph:
+            if rng.random() < emission_probability:
+                arch.add_energy_flow(
+                    next_flow(),
+                    p.name,
+                    "ENV",
+                    form=EnergyForm.ACOUSTIC,
+                    intentional=False,
+                )
+    # Inter-subsystem links.
+    for si in range(n_subsystems - 1):
+        arch.add_signal_flow(
+            next_flow(), first_cyber[si], first_cyber[si + 1]
+        )
+        if rng.random() < cross_link_probability:
+            arch.add_energy_flow(
+                next_flow(),
+                last_physical[si],
+                last_physical[si + 1],
+                form=EnergyForm.MATERIAL,
+            )
+    # Guarantee the environment is never isolated.
+    if not any(f.target == "ENV" for f in arch.flows.values()):
+        arch.add_energy_flow(
+            next_flow(),
+            last_physical[-1],
+            "ENV",
+            form=EnergyForm.ACOUSTIC,
+            intentional=False,
+        )
+    return arch

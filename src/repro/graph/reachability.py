@@ -1,0 +1,66 @@
+"""Graph algorithms supporting Algorithm 1: DFS reachability and
+feedback-loop removal.
+
+Algorithm 1 Line 3 "removes feedback loops to make signal/energy flows
+directed": G_CPPS must be a DAG before flow-pair extraction so that
+"head of F2 reachable from tail of F1" expresses causal ordering.  We
+break cycles with a deterministic greedy heuristic (remove the last edge
+closing each cycle found in DFS order), which matches the paper's
+intent without needing the (NP-hard) minimum feedback arc set.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ArchitectureError
+
+
+def dfs_reachable(graph: nx.DiGraph, source: str) -> set:
+    """All nodes reachable from *source* by directed paths (including it)."""
+    if source not in graph:
+        raise ArchitectureError(f"node {source!r} not in graph")
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def is_reachable(graph: nx.DiGraph, source: str, target: str) -> bool:
+    """True if *target* is reachable from *source* (DFS, as Algorithm 1)."""
+    if target not in graph:
+        raise ArchitectureError(f"node {target!r} not in graph")
+    return target in dfs_reachable(graph, source)
+
+
+def remove_feedback_edges(graph: nx.DiGraph) -> tuple:
+    """Return ``(dag, removed_edges)`` with cycles broken deterministically.
+
+    Iteratively finds a cycle and removes its final edge until the graph
+    is acyclic.  The input graph is not modified.
+    """
+    dag = graph.copy()
+    removed = []
+    while True:
+        try:
+            cycle = nx.find_cycle(dag, orientation="original")
+        except nx.NetworkXNoCycle:
+            break
+        # Remove the lexicographically largest edge of the cycle so the
+        # result does not depend on networkx's internal iteration order.
+        edge = max((u, v) for u, v, _dir in cycle)
+        dag.remove_edge(*edge)
+        removed.append(edge)
+    return dag, removed
+
+
+def assert_dag(graph: nx.DiGraph) -> None:
+    """Raise :class:`ArchitectureError` if *graph* still has a cycle."""
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph, orientation="original")
+        raise ArchitectureError(f"graph contains a cycle: {cycle}")

@@ -1,0 +1,119 @@
+"""Simulated additive-manufacturing testbed (substitute for the paper's
+physical 3D printer, contact microphone, and anechoic chamber).
+"""
+
+from repro.manufacturing.gcode import (
+    AXIS_LETTERS,
+    GCodeCommand,
+    GCodeProgram,
+    parse_line,
+)
+from repro.manufacturing.steppers import (
+    AcousticSignature,
+    StepperMotor,
+    default_motors,
+)
+from repro.manufacturing.kinematics import (
+    MachineConfig,
+    MotionPlanner,
+    MotionSegment,
+)
+from repro.manufacturing.acoustics import (
+    AcousticSynthesizer,
+    AnechoicChamber,
+    ContactMicrophone,
+)
+from repro.manufacturing.printer import Printer3D, PrintRun
+from repro.manufacturing.programs import (
+    calibration_suite,
+    circle_program,
+    layered_object_program,
+    random_single_motor_sequence,
+    rectangle_program,
+    single_motor_program,
+    staircase_program,
+)
+from repro.manufacturing.traces import (
+    MIN_SEGMENT_DURATION,
+    RecordedSegment,
+    build_dataset,
+    collect_segments,
+    record_case_study_dataset,
+)
+from repro.manufacturing.power import (
+    PowerSignature,
+    PowerTraceSynthesizer,
+    default_power_signatures,
+)
+from repro.manufacturing.multichannel import (
+    MultiChannelRecording,
+    record_multichannel_dataset,
+)
+from repro.manufacturing.multimic import (
+    EMISSION_AXES,
+    microphone_gains,
+    record_per_emission_datasets,
+)
+from repro.manufacturing.wav import read_wav, write_wav
+from repro.manufacturing.quality import (
+    geometric_damage_report,
+    hausdorff_distance,
+    mean_deviation,
+    path_length,
+    toolpath_points,
+)
+from repro.manufacturing.architecture import (
+    GCODE_FLOW,
+    MONITORED_EMISSIONS,
+    monitored_flow_names,
+    printer_architecture,
+)
+
+__all__ = [
+    "AXIS_LETTERS",
+    "AcousticSignature",
+    "AcousticSynthesizer",
+    "AnechoicChamber",
+    "ContactMicrophone",
+    "GCODE_FLOW",
+    "GCodeCommand",
+    "GCodeProgram",
+    "MIN_SEGMENT_DURATION",
+    "MONITORED_EMISSIONS",
+    "MachineConfig",
+    "MotionPlanner",
+    "MotionSegment",
+    "MultiChannelRecording",
+    "PowerSignature",
+    "PowerTraceSynthesizer",
+    "Printer3D",
+    "PrintRun",
+    "RecordedSegment",
+    "StepperMotor",
+    "build_dataset",
+    "calibration_suite",
+    "circle_program",
+    "collect_segments",
+    "default_motors",
+    "EMISSION_AXES",
+    "default_power_signatures",
+    "geometric_damage_report",
+    "hausdorff_distance",
+    "layered_object_program",
+    "mean_deviation",
+    "monitored_flow_names",
+    "path_length",
+    "parse_line",
+    "printer_architecture",
+    "random_single_motor_sequence",
+    "record_case_study_dataset",
+    "record_multichannel_dataset",
+    "microphone_gains",
+    "record_per_emission_datasets",
+    "read_wav",
+    "rectangle_program",
+    "single_motor_program",
+    "staircase_program",
+    "toolpath_points",
+    "write_wav",
+]

@@ -1,0 +1,112 @@
+"""The case study's CPPS architecture (paper Figures 5 and 6).
+
+Builds the additive-manufacturing sub-system as a
+:class:`~repro.graph.architecture.CPPSArchitecture`:
+
+* cyber components ``C1``–``C3`` (controller, stepper driver stage,
+  heater control) plus the *external* node ``C4`` — "the external signal
+  flows from other sub-systems into the 3D printer";
+* physical components ``P1``–``P8`` (power supply, X/Y/Z steppers,
+  extruder motor, hotend, heated bed, frame) plus the *environment*
+  node ``P9`` — "various energy flows that are either intentional or
+  unintentional passing to the environment are encompassed by the edges
+  going towards the node P9";
+* the signal and energy flows connecting them.  The acoustic emissions
+  monitored in the experiment are the flows from ``P2, P3, P4, P5, P8``
+  to ``P9``, and the analyzed signal flow is ``F1`` (G/M-code from
+  ``C4`` to ``C1``) — matching Section IV-B.
+"""
+
+from __future__ import annotations
+
+from repro.flows.base import EnergyForm
+from repro.graph.architecture import CPPSArchitecture
+from repro.graph.components import SubSystem, cyber, physical
+
+#: Names of the acoustic emission flows the case study monitors
+#: (P2, P3, P4, P5, P8 -> P9), keyed by emitting component.
+MONITORED_EMISSIONS = {
+    "P2": "F14",
+    "P3": "F15",
+    "P4": "F16",
+    "P5": "F17",
+    "P8": "F18",
+}
+
+#: The analyzed signal flow: G/M-code entering the sub-system (C4 -> C1).
+GCODE_FLOW = "F1"
+
+
+def printer_architecture(name: str = "additive-manufacturing") -> CPPSArchitecture:
+    """Construct the Figure 5/6 printer architecture."""
+    arch = CPPSArchitecture(name)
+
+    printer = SubSystem("printer", description="FDM 3D printer sub-system")
+    printer.add(cyber("C1", "Main controller"))
+    printer.add(cyber("C2", "Stepper driver stage"))
+    printer.add(cyber("C3", "Heater control"))
+    printer.add(physical("P1", "Power supply"))
+    printer.add(physical("P2", "X stepper motor"))
+    printer.add(physical("P3", "Y stepper motor"))
+    printer.add(physical("P4", "Z stepper motor"))
+    printer.add(physical("P5", "Extruder stepper motor"))
+    printer.add(physical("P6", "Hotend heater"))
+    printer.add(physical("P7", "Heated bed"))
+    printer.add(physical("P8", "Frame / chassis"))
+    arch.add_subsystem(printer)
+
+    externals = SubSystem(
+        "externals", description="External signal source and physical environment"
+    )
+    externals.add(cyber("C4", "External G/M-code source", external=True))
+    externals.add(physical("P9", "Physical environment", external=True))
+    arch.add_subsystem(externals)
+
+    # Signal flows (cyber domain).
+    arch.add_signal_flow(GCODE_FLOW, "C4", "C1", description="G/M-code instructions")
+    arch.add_signal_flow("F2", "C1", "C2", description="Step/direction commands")
+    arch.add_signal_flow("F3", "C1", "C3", description="Temperature set-points")
+
+    # Electrical energy into the actuators.
+    arch.add_energy_flow("F4", "C2", "P2", form=EnergyForm.ELECTRICAL)
+    arch.add_energy_flow("F5", "C2", "P3", form=EnergyForm.ELECTRICAL)
+    arch.add_energy_flow("F6", "C2", "P4", form=EnergyForm.ELECTRICAL)
+    arch.add_energy_flow("F7", "C2", "P5", form=EnergyForm.ELECTRICAL)
+    arch.add_energy_flow("F8", "C3", "P6", form=EnergyForm.ELECTRICAL)
+    arch.add_energy_flow("F9", "C3", "P7", form=EnergyForm.ELECTRICAL)
+
+    # Mechanical coupling of motors into the frame.
+    arch.add_energy_flow("F10", "P2", "P8", form=EnergyForm.VIBRATION)
+    arch.add_energy_flow("F11", "P3", "P8", form=EnergyForm.VIBRATION)
+    arch.add_energy_flow("F12", "P4", "P8", form=EnergyForm.VIBRATION)
+    arch.add_energy_flow("F13", "P5", "P8", form=EnergyForm.VIBRATION)
+
+    # Unintentional acoustic emissions to the environment (monitored).
+    for src, flow_name in MONITORED_EMISSIONS.items():
+        arch.add_energy_flow(
+            flow_name,
+            src,
+            "P9",
+            form=EnergyForm.ACOUSTIC,
+            intentional=False,
+            description="acoustic emission (side channel)",
+        )
+
+    # Unintentional thermal emissions.
+    arch.add_energy_flow(
+        "F19", "P6", "P9", form=EnergyForm.THERMAL, intentional=False
+    )
+    arch.add_energy_flow(
+        "F20", "P7", "P9", form=EnergyForm.THERMAL, intentional=False
+    )
+
+    # Power distribution.
+    arch.add_energy_flow("F21", "P1", "C1", form=EnergyForm.ELECTRICAL)
+
+    return arch
+
+
+def monitored_flow_names() -> list:
+    """The flow names the case study trains CGANs for: the G-code signal
+    flow plus all monitored acoustic emissions."""
+    return [GCODE_FLOW] + sorted(MONITORED_EMISSIONS.values())

@@ -1,0 +1,206 @@
+"""G/M-code parsing, representation, and serialization.
+
+The case study's signal flow is the stream of G/M-code instructions sent
+to the printer (node C4 → C1 in Figure 6).  This module implements a
+practical subset of RepRap-flavor G-code:
+
+* motion: ``G0`` (rapid), ``G1`` (linear move), ``G2``/``G3``
+  (clockwise / counter-clockwise XY arcs with I/J centers), ``G4``
+  (dwell), ``G28`` (home);
+* modes: ``G90``/``G91`` (absolute/relative), ``G21`` (millimeters);
+* auxiliary M-codes: ``M104``/``M140`` (set temperatures), ``M106``/
+  ``M107`` (fan), ``M84`` (motors off) — parsed and carried through but
+  kinematically inert.
+
+Comments (``;`` to end of line and parenthesized), line numbers (``N``)
+and ``*`` checksums are handled.  Parsing is strict about malformed
+words so that corrupted (attacked) programs are *detectable* rather than
+silently misread — important for the integrity-attack experiments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import GCodeError
+
+#: Axis letters the kinematics understands (E is the extruder).
+AXIS_LETTERS = ("X", "Y", "Z", "E")
+
+#: Parameter letters accepted in command words.
+PARAM_LETTERS = AXIS_LETTERS + ("F", "S", "P", "T", "R", "I", "J")
+
+_WORD_RE = re.compile(r"([A-Za-z])\s*([-+]?\d*\.?\d+)")
+_PAREN_COMMENT_RE = re.compile(r"\([^)]*\)")
+
+
+@dataclass(frozen=True)
+class GCodeCommand:
+    """One parsed G/M-code command.
+
+    Attributes
+    ----------
+    code:
+        Normalized command word, e.g. ``"G1"`` or ``"M104"``.
+    params:
+        Mapping of parameter letter to float value, e.g. ``{"X": 10.0,
+        "F": 1200.0}``.
+    comment:
+        Comment text stripped from the line ('' when none).
+    line_number:
+        The ``N`` word if present, else ``None``.
+    """
+
+    code: str
+    params: dict = field(default_factory=dict)
+    comment: str = ""
+    line_number: int | None = None
+
+    def __post_init__(self):
+        if not re.fullmatch(r"[GM]\d+(\.\d+)?", self.code):
+            raise GCodeError(f"invalid command code {self.code!r}")
+        for letter in self.params:
+            if letter not in PARAM_LETTERS:
+                raise GCodeError(
+                    f"unsupported parameter letter {letter!r} in {self.code}"
+                )
+
+    @property
+    def is_motion(self) -> bool:
+        """True for commands that can move axes (G0/G1)."""
+        return self.code in ("G0", "G1")
+
+    @property
+    def is_dwell(self) -> bool:
+        return self.code == "G4"
+
+    def get(self, letter: str, default=None):
+        """Parameter value by letter, or *default*."""
+        return self.params.get(letter, default)
+
+    def axes_present(self) -> tuple:
+        """Axis letters that appear in this command's parameters."""
+        return tuple(a for a in AXIS_LETTERS if a in self.params)
+
+    def to_line(self) -> str:
+        """Serialize back to a G-code text line (canonical formatting)."""
+        parts = [self.code]
+        for letter in ("F",) + AXIS_LETTERS + ("I", "J", "S", "P", "T", "R"):
+            if letter in self.params:
+                value = self.params[letter]
+                text = f"{value:.6f}".rstrip("0").rstrip(".")
+                parts.append(f"{letter}{text}")
+        line = " ".join(parts)
+        if self.comment:
+            line += f" ; {self.comment}"
+        return line
+
+    def replace_params(self, **updates) -> "GCodeCommand":
+        """Copy with some parameters changed/added (attack-injection helper)."""
+        params = dict(self.params)
+        for k, v in updates.items():
+            if v is None:
+                params.pop(k, None)
+            else:
+                params[k] = float(v)
+        return GCodeCommand(self.code, params, self.comment, self.line_number)
+
+    def __str__(self):
+        return self.to_line()
+
+
+def parse_line(line: str) -> GCodeCommand | None:
+    """Parse one text line into a command, or ``None`` for blank/comment lines."""
+    raw = line
+    # Strip parenthesized comments, then ';' comments.
+    line = _PAREN_COMMENT_RE.sub(" ", line)
+    comment = ""
+    if ";" in line:
+        line, comment = line.split(";", 1)
+        comment = comment.strip()
+    # Strip checksum.
+    if "*" in line:
+        line = line.split("*", 1)[0]
+    line = line.strip()
+    if not line:
+        return None
+    words = _WORD_RE.findall(line)
+    if not words:
+        raise GCodeError(f"unparseable G-code line: {raw!r}")
+    consumed = _WORD_RE.sub("", line).strip()
+    if consumed:
+        raise GCodeError(f"trailing junk {consumed!r} in line: {raw!r}")
+    line_number = None
+    code = None
+    params = {}
+    for letter, value in words:
+        letter = letter.upper()
+        if letter == "N":
+            line_number = int(float(value))
+        elif letter in ("G", "M"):
+            if code is not None:
+                raise GCodeError(f"multiple command words in line: {raw!r}")
+            num = float(value)
+            code = f"{letter}{int(num)}" if num == int(num) else f"{letter}{num}"
+        elif letter in PARAM_LETTERS:
+            if letter in params:
+                raise GCodeError(f"duplicate parameter {letter!r} in line: {raw!r}")
+            params[letter] = float(value)
+        else:
+            raise GCodeError(f"unknown word letter {letter!r} in line: {raw!r}")
+    if code is None:
+        raise GCodeError(f"line has parameters but no G/M command: {raw!r}")
+    return GCodeCommand(code, params, comment, line_number)
+
+
+class GCodeProgram:
+    """An ordered list of parsed commands."""
+
+    def __init__(self, commands=(), *, name: str = "program"):
+        self.commands = list(commands)
+        self.name = name
+        for cmd in self.commands:
+            if not isinstance(cmd, GCodeCommand):
+                raise GCodeError(f"not a GCodeCommand: {cmd!r}")
+
+    @classmethod
+    def from_text(cls, text: str, *, name: str = "program") -> "GCodeProgram":
+        """Parse a multi-line G-code string, skipping blanks/comments."""
+        commands = []
+        for i, line in enumerate(text.splitlines(), start=1):
+            try:
+                cmd = parse_line(line)
+            except GCodeError as exc:
+                raise GCodeError(f"{name}, line {i}: {exc}") from exc
+            if cmd is not None:
+                commands.append(cmd)
+        return cls(commands, name=name)
+
+    def to_text(self) -> str:
+        """Serialize the program to G-code text."""
+        return "\n".join(cmd.to_line() for cmd in self.commands)
+
+    def motion_commands(self) -> list:
+        return [c for c in self.commands if c.is_motion]
+
+    def append(self, command: GCodeCommand) -> "GCodeProgram":
+        self.commands.append(command)
+        return self
+
+    def extend(self, commands) -> "GCodeProgram":
+        for cmd in commands:
+            self.append(cmd)
+        return self
+
+    def __len__(self):
+        return len(self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def __getitem__(self, idx):
+        return self.commands[idx]
+
+    def __repr__(self):
+        return f"GCodeProgram(name={self.name!r}, commands={len(self)})"

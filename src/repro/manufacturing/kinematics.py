@@ -1,0 +1,332 @@
+"""Motion planning: G-code programs → timed motion segments.
+
+The planner walks a program maintaining modal state (position, feed
+rate, absolute/relative mode) and emits one :class:`MotionSegment` per
+kinematically active command.  Segments carry everything the acoustic
+synthesizer needs: duration, per-axis travel, per-axis speed, and the
+set of *active* axes — which is also exactly the condition label of the
+case study ("which stepper motor runs between ``G_{t-1}`` and ``G_t``").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GCodeError
+from repro.manufacturing.gcode import AXIS_LETTERS, GCodeCommand, GCodeProgram
+from repro.manufacturing.steppers import StepperMotor, default_motors
+
+#: Travel below this (mm) is treated as "axis did not move".
+MOTION_EPSILON = 1e-9
+
+
+@dataclass
+class MachineConfig:
+    """Kinematic configuration of the machine.
+
+    Attributes
+    ----------
+    motors:
+        Mapping of axis letter to :class:`StepperMotor`.
+    default_feed_rate:
+        Feed (mm/min) assumed before any ``F`` word is seen.
+    rapid_feed_rate:
+        Feed (mm/min) used for ``G0`` rapids.
+    home_position:
+        Position set by ``G28``.
+    """
+
+    motors: dict = field(default_factory=default_motors)
+    default_feed_rate: float = 1200.0
+    rapid_feed_rate: float = 6000.0
+    home_position: dict = field(
+        default_factory=lambda: {a: 0.0 for a in AXIS_LETTERS}
+    )
+
+    def __post_init__(self):
+        if self.default_feed_rate <= 0 or self.rapid_feed_rate <= 0:
+            raise ConfigurationError("feed rates must be > 0")
+        for axis, motor in self.motors.items():
+            if not isinstance(motor, StepperMotor):
+                raise ConfigurationError(f"motor for {axis!r} is not a StepperMotor")
+            if motor.axis != axis:
+                raise ConfigurationError(
+                    f"motor registered under {axis!r} drives axis {motor.axis!r}"
+                )
+
+    def motor(self, axis: str) -> StepperMotor:
+        try:
+            return self.motors[axis]
+        except KeyError:
+            raise ConfigurationError(f"no motor configured for axis {axis!r}") from None
+
+
+@dataclass(frozen=True)
+class MotionSegment:
+    """One planned, timed piece of machine activity.
+
+    Attributes
+    ----------
+    index:
+        Ordinal of the generating command within the program.
+    command:
+        The :class:`GCodeCommand` that produced this segment.
+    start, end:
+        Positions (axis -> mm) before and after the segment.
+    duration:
+        Seconds.
+    feed_rate:
+        Commanded feed in mm/min (None for dwells).
+    active_axes:
+        Frozenset of axes that actually move (excluding E by default at
+        the dataset layer — E handling is the caller's choice).
+    axis_speeds:
+        Axis -> linear speed in mm/s (only active axes present).
+    step_frequencies:
+        Axis -> stepper step frequency in Hz (only active axes present).
+    """
+
+    index: int
+    command: GCodeCommand
+    start: dict
+    end: dict
+    duration: float
+    feed_rate: float | None
+    active_axes: frozenset
+    axis_speeds: dict
+    step_frequencies: dict
+
+    @property
+    def is_dwell(self) -> bool:
+        return not self.active_axes
+
+    @property
+    def travel(self) -> dict:
+        """Signed per-axis displacement in mm."""
+        return {a: self.end[a] - self.start[a] for a in self.end}
+
+    def __str__(self):
+        axes = "+".join(sorted(self.active_axes)) or "dwell"
+        return (
+            f"seg#{self.index} [{axes}] {self.duration:.3f}s "
+            f"{self.command.to_line()}"
+        )
+
+
+class MotionPlanner:
+    """Walks a program and produces :class:`MotionSegment` objects.
+
+    Simplifications relative to real firmware (documented, deliberate):
+    constant-velocity moves (no acceleration ramps) and exact feed-rate
+    tracking.  These do not affect the security analysis, which uses
+    per-segment averaged spectra.
+    """
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+
+    def plan(self, program: GCodeProgram) -> list:
+        """Plan the whole program; returns the list of segments."""
+        position = dict(self.config.home_position)
+        feed_rate = self.config.default_feed_rate
+        absolute = True
+        segments = []
+        for idx, cmd in enumerate(program):
+            if cmd.code == "G90":
+                absolute = True
+            elif cmd.code == "G91":
+                absolute = False
+            elif cmd.code == "G28":
+                segment, position = self._plan_home(idx, cmd, position)
+                if segment is not None:
+                    segments.append(segment)
+            elif cmd.code == "G4":
+                segments.append(self._plan_dwell(idx, cmd, position))
+            elif cmd.is_motion:
+                if "F" in cmd.params:
+                    feed_rate = self._check_feed(cmd.params["F"], cmd)
+                rate = self.config.rapid_feed_rate if cmd.code == "G0" else feed_rate
+                segment, position = self._plan_move(idx, cmd, position, rate, absolute)
+                if segment is not None:
+                    segments.append(segment)
+            elif cmd.code in ("G2", "G3"):
+                if "F" in cmd.params:
+                    feed_rate = self._check_feed(cmd.params["F"], cmd)
+                arc_segments, position = self._plan_arc(
+                    idx, cmd, position, feed_rate, absolute
+                )
+                segments.extend(arc_segments)
+            # All other codes (G21, M-codes...) are kinematically inert.
+        return segments
+
+    #: Maximum chord deviation (mm) when tessellating arcs into moves.
+    ARC_TOLERANCE = 0.05
+
+    def _plan_arc(self, idx, cmd, position, feed_rate, absolute):
+        """Plan a G2 (clockwise) / G3 (counter-clockwise) XY arc.
+
+        Arcs are tessellated into straight chords whose sagitta stays
+        below :attr:`ARC_TOLERANCE` — the standard firmware approach —
+        so every downstream consumer keeps seeing plain MotionSegments.
+        The center is given by I/J offsets (relative to the start point,
+        the RepRap convention); R-form arcs are unsupported.
+        """
+        if "R" in cmd.params:
+            raise GCodeError(f"R-form arcs are not supported: {cmd.to_line()!r}")
+        if "I" not in cmd.params and "J" not in cmd.params:
+            raise GCodeError(f"arc without I/J center: {cmd.to_line()!r}")
+        cx = position["X"] + cmd.params.get("I", 0.0)
+        cy = position["Y"] + cmd.params.get("J", 0.0)
+        x0, y0 = position["X"], position["Y"]
+        if "X" in cmd.params:
+            x1 = cmd.params["X"] if absolute else x0 + cmd.params["X"]
+        else:
+            x1 = x0
+        if "Y" in cmd.params:
+            y1 = cmd.params["Y"] if absolute else y0 + cmd.params["Y"]
+        else:
+            y1 = y0
+        radius = float(np.hypot(x0 - cx, y0 - cy))
+        if radius <= MOTION_EPSILON:
+            raise GCodeError(f"zero-radius arc: {cmd.to_line()!r}")
+        end_radius = float(np.hypot(x1 - cx, y1 - cy))
+        if abs(end_radius - radius) > 0.01 * max(radius, 1.0):
+            raise GCodeError(
+                f"arc endpoint off the circle (r0={radius:.4f}, "
+                f"r1={end_radius:.4f}): {cmd.to_line()!r}"
+            )
+        theta0 = float(np.arctan2(y0 - cy, x0 - cx))
+        theta1 = float(np.arctan2(y1 - cy, x1 - cx))
+        clockwise = cmd.code == "G2"
+        sweep = theta1 - theta0
+        if clockwise:
+            while sweep >= -MOTION_EPSILON:
+                sweep -= 2.0 * np.pi
+        else:
+            while sweep <= MOTION_EPSILON:
+                sweep += 2.0 * np.pi
+        # Chord count so the sagitta r(1-cos(dtheta/2)) <= tolerance.
+        tol = min(self.ARC_TOLERANCE, radius)
+        dtheta_max = 2.0 * np.arccos(max(1.0 - tol / radius, 0.0))
+        n_chords = max(1, int(np.ceil(abs(sweep) / max(dtheta_max, 1e-6))))
+        segments = []
+        current = dict(position)
+        for k in range(1, n_chords + 1):
+            theta = theta0 + sweep * k / n_chords
+            target_cmd = cmd.replace_params(
+                X=cx + radius * float(np.cos(theta)),
+                Y=cy + radius * float(np.sin(theta)),
+                I=None,
+                J=None,
+            )
+            segment, current = self._plan_move(
+                idx, target_cmd, current, feed_rate, True
+            )
+            if segment is not None:
+                segments.append(segment)
+        return segments, current
+
+    # -- internals -------------------------------------------------------------
+    @staticmethod
+    def _check_feed(value: float, cmd: GCodeCommand) -> float:
+        if value <= 0:
+            raise GCodeError(f"non-positive feed rate in {cmd.to_line()!r}")
+        return float(value)
+
+    def _plan_move(self, idx, cmd, position, feed_rate, absolute):
+        target = dict(position)
+        for axis in cmd.axes_present():
+            value = cmd.params[axis]
+            target[axis] = value if absolute else position[axis] + value
+        deltas = {a: target[a] - position[a] for a in target}
+        active = frozenset(
+            a for a, d in deltas.items() if abs(d) > MOTION_EPSILON
+        )
+        if not active:
+            return None, position  # No actual motion (e.g. F-only line).
+        distance = float(np.sqrt(sum(deltas[a] ** 2 for a in active)))
+        speed = feed_rate / 60.0  # mm/min -> mm/s
+        # Clamp the *path* speed so no axis exceeds its motor limit.
+        for axis in active:
+            motor = self.config.motor(axis)
+            axis_fraction = abs(deltas[axis]) / distance
+            if axis_fraction > 0:
+                speed = min(speed, motor.max_speed / axis_fraction)
+        duration = distance / speed
+        axis_speeds = {a: abs(deltas[a]) / duration for a in active}
+        step_freqs = {
+            a: self.config.motor(a).step_frequency(axis_speeds[a]) for a in active
+        }
+        segment = MotionSegment(
+            index=idx,
+            command=cmd,
+            start=dict(position),
+            end=target,
+            duration=duration,
+            feed_rate=feed_rate,
+            active_axes=active,
+            axis_speeds=axis_speeds,
+            step_frequencies=step_freqs,
+        )
+        return segment, target
+
+    def _plan_dwell(self, idx, cmd, position):
+        # G4: P = milliseconds, S = seconds (RepRap convention).
+        if "P" in cmd.params:
+            duration = cmd.params["P"] / 1000.0
+        elif "S" in cmd.params:
+            duration = cmd.params["S"]
+        else:
+            raise GCodeError(f"G4 without P or S: {cmd.to_line()!r}")
+        if duration <= 0:
+            raise GCodeError(f"non-positive dwell in {cmd.to_line()!r}")
+        return MotionSegment(
+            index=idx,
+            command=cmd,
+            start=dict(position),
+            end=dict(position),
+            duration=float(duration),
+            feed_rate=None,
+            active_axes=frozenset(),
+            axis_speeds={},
+            step_frequencies={},
+        )
+
+    def _plan_home(self, idx, cmd, position):
+        axes = cmd.axes_present() or tuple(
+            a for a in AXIS_LETTERS if a in self.config.motors and a != "E"
+        )
+        target = dict(position)
+        for axis in axes:
+            target[axis] = self.config.home_position.get(axis, 0.0)
+        deltas = {a: target[a] - position[a] for a in target}
+        active = frozenset(a for a, d in deltas.items() if abs(d) > MOTION_EPSILON)
+        if not active:
+            return None, target
+        # Home at rapid speed, clamped per motor.
+        distance = float(np.sqrt(sum(deltas[a] ** 2 for a in active)))
+        speed = self.config.rapid_feed_rate / 60.0
+        for axis in active:
+            motor = self.config.motor(axis)
+            frac = abs(deltas[axis]) / distance
+            if frac > 0:
+                speed = min(speed, motor.max_speed / frac)
+        duration = distance / speed
+        axis_speeds = {a: abs(deltas[a]) / duration for a in active}
+        step_freqs = {
+            a: self.config.motor(a).step_frequency(axis_speeds[a]) for a in active
+        }
+        segment = MotionSegment(
+            index=idx,
+            command=cmd,
+            start=dict(position),
+            end=target,
+            duration=duration,
+            feed_rate=self.config.rapid_feed_rate,
+            active_axes=active,
+            axis_speeds=axis_speeds,
+            step_frequencies=step_freqs,
+        )
+        return segment, target

@@ -1,0 +1,146 @@
+"""Multi-channel recording: acoustic + power side channels, aligned.
+
+The paper's model covers any number of energy flows; this module records
+the two simulated channels for the same print runs, producing row-
+aligned datasets so analyses can compare single channels against fusion
+(feature concatenation) — "information leakage ... needs to be
+performed across multiple sub-systems" generalizes naturally to
+multiple channels of one sub-system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.dsp.features import FrequencyFeatureExtractor
+from repro.flows.dataset import FlowPairDataset
+from repro.flows.encoding import ConditionEncoder, SingleMotorEncoder
+from repro.manufacturing.power import PowerTraceSynthesizer
+from repro.manufacturing.printer import Printer3D
+from repro.manufacturing.programs import calibration_suite
+from repro.manufacturing.traces import (
+    MAX_SEGMENT_DURATION,
+    MIN_SEGMENT_DURATION,
+    _center_crop,
+)
+
+
+@dataclass
+class MultiChannelRecording:
+    """Aligned per-segment observations over both channels.
+
+    ``acoustic``, ``power``, and ``fused`` are row-aligned
+    :class:`FlowPairDataset` objects; ``extractors`` holds the fitted
+    per-channel feature extractors (for featureizing held-out traces).
+    """
+
+    acoustic: FlowPairDataset
+    power: FlowPairDataset
+    fused: FlowPairDataset
+    extractors: dict
+
+
+def record_multichannel_dataset(
+    *,
+    n_moves_per_axis: int = 30,
+    acoustic_sample_rate: float = 12000.0,
+    power_sample_rate: float = 5000.0,
+    acoustic_bins: int = 100,
+    power_bins: int = 50,
+    seed=None,
+    printer: Printer3D | None = None,
+    power_synth: PowerTraceSynthesizer | None = None,
+    encoder: ConditionEncoder | None = None,
+) -> MultiChannelRecording:
+    """Record the case-study workload over both channels.
+
+    Power analysis frequencies span 10 Hz up to just below the current
+    sensor's Nyquist; acoustic follows the paper's 50–5000 Hz band.
+    Each channel gets its own RNG stream, so changing one channel's
+    configuration never perturbs the other's traces.
+    """
+    from repro.utils.rng import spawn_rngs
+
+    program_rng, printer_rng, power_rng = spawn_rngs(seed, 3)
+    printer = printer or Printer3D(
+        sample_rate=acoustic_sample_rate, seed=printer_rng
+    )
+    power_synth = power_synth or PowerTraceSynthesizer(
+        sample_rate=power_sample_rate
+    )
+    encoder = encoder or SingleMotorEncoder()
+    programs = calibration_suite(n_moves_per_axis, seed=program_rng)
+
+    acoustic_segments = []
+    power_segments = []
+    conditions = []
+    for program in programs:
+        run = printer.run(program, seed=printer_rng)
+        power_trace, power_bounds = power_synth.render(
+            run.segments, seed=power_rng
+        )
+        for i, segment in enumerate(run.segments):
+            if segment.duration < MIN_SEGMENT_DURATION:
+                continue
+            active = frozenset(a for a in segment.active_axes if a in "XYZ")
+            try:
+                cond = encoder.encode(active)
+            except DataError:
+                continue
+            audio = run.segment_audio(i).samples
+            p0 = int(round(power_bounds[i] * power_synth.sample_rate))
+            p1 = int(round(power_bounds[i + 1] * power_synth.sample_rate))
+            power_chunk = power_trace[p0:p1]
+            if len(power_chunk) < int(
+                MIN_SEGMENT_DURATION * power_synth.sample_rate
+            ):
+                continue
+            acoustic_segments.append(
+                _center_crop(audio, printer.sample_rate, MAX_SEGMENT_DURATION)
+            )
+            power_segments.append(
+                _center_crop(
+                    power_chunk, power_synth.sample_rate, MAX_SEGMENT_DURATION
+                )
+            )
+            conditions.append(cond)
+    if not conditions:
+        raise DataError("no usable multi-channel segments recorded")
+
+    acoustic_extractor = FrequencyFeatureExtractor(
+        printer.sample_rate, n_bins=acoustic_bins
+    )
+    power_extractor = FrequencyFeatureExtractor(
+        power_synth.sample_rate,
+        n_bins=power_bins,
+        f_min=10.0,
+        f_max=power_synth.sample_rate / 2.0 * 0.95,
+        # Power analysis leans on the mean current level, which spectral
+        # magnitudes cannot see.
+        include_stats=True,
+    )
+    acoustic_features = acoustic_extractor.fit_transform(acoustic_segments)
+    power_features = power_extractor.fit_transform(power_segments)
+    cond_matrix = np.vstack(conditions)
+
+    acoustic_ds = FlowPairDataset(
+        acoustic_features, cond_matrix, name="acoustic|gcode"
+    )
+    power_ds = FlowPairDataset(power_features, cond_matrix, name="power|gcode")
+    fused_ds = FlowPairDataset(
+        np.hstack([acoustic_features, power_features]),
+        cond_matrix,
+        name="acoustic+power|gcode",
+    )
+    return MultiChannelRecording(
+        acoustic=acoustic_ds,
+        power=power_ds,
+        fused=fused_ds,
+        extractors={
+            "acoustic": acoustic_extractor,
+            "power": power_extractor,
+        },
+    )

@@ -1,0 +1,166 @@
+"""Power side channel: supply-current traces of the printer.
+
+The paper's model is not acoustic-specific — any energy flow works.
+This module adds the classic second channel: the printer's power draw,
+as a smart meter or a compromised PSU would see it (architecture flow
+``F21``: power supply P1 ↔ controller).  Per motion segment the trace
+contains:
+
+* a per-motor DC holding/running current,
+* current ripple at each motor's step frequency (chopper drive),
+* slow heater duty cycling (hotend + bed), and
+* measurement noise.
+
+The sample rate is much lower than the microphone's (current clamps are
+slow); step-frequency ripple above Nyquist simply vanishes — one of the
+honest physical differences between the two channels that the
+multi-channel benchmark surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.manufacturing.kinematics import MotionSegment
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class PowerSignature:
+    """Electrical signature of one motor on the shared supply rail.
+
+    Attributes
+    ----------
+    running_current:
+        Mean current (A) while the motor runs.
+    ripple_gain:
+        Amplitude of the step-frequency ripple relative to the running
+        current.
+    harmonic_gains:
+        Relative amplitudes of the ripple harmonics.
+    """
+
+    running_current: float = 0.8
+    ripple_gain: float = 0.25
+    harmonic_gains: tuple = (1.0, 0.35)
+
+    def __post_init__(self):
+        if self.running_current <= 0:
+            raise ConfigurationError("running_current must be > 0")
+        if self.ripple_gain < 0:
+            raise ConfigurationError("ripple_gain must be >= 0")
+        if not self.harmonic_gains or any(g < 0 for g in self.harmonic_gains):
+            raise ConfigurationError("harmonic_gains must be non-empty, >= 0")
+
+
+def default_power_signatures() -> dict:
+    """Per-axis electrical signatures (distinct but overlapping, like the
+    acoustic ones): X/Y similar belt-drive currents, Z a geared
+    lead-screw with higher torque (more current, stronger ripple), E a
+    lighter extruder motor."""
+    return {
+        "X": PowerSignature(running_current=0.80, ripple_gain=0.22,
+                            harmonic_gains=(1.0, 0.35)),
+        "Y": PowerSignature(running_current=0.90, ripple_gain=0.25,
+                            harmonic_gains=(1.0, 0.30)),
+        "Z": PowerSignature(running_current=1.25, ripple_gain=0.40,
+                            harmonic_gains=(1.0, 0.20)),
+        "E": PowerSignature(running_current=0.55, ripple_gain=0.18,
+                            harmonic_gains=(1.0, 0.40)),
+    }
+
+
+class PowerTraceSynthesizer:
+    """Render motion segments to supply-current traces.
+
+    Parameters
+    ----------
+    signatures:
+        Axis -> :class:`PowerSignature`.
+    sample_rate:
+        Current-sensor sample rate in Hz (default 2 kHz).
+    idle_current:
+        Electronics baseline draw (A).
+    heater_current / heater_period:
+        Amplitude (A) and period (s) of the slow heater duty cycle.
+    noise_level:
+        Measurement-noise RMS (A).
+    """
+
+    def __init__(
+        self,
+        signatures: dict | None = None,
+        *,
+        sample_rate: float = 2000.0,
+        idle_current: float = 0.35,
+        heater_current: float = 0.6,
+        heater_period: float = 2.5,
+        noise_level: float = 0.02,
+    ):
+        if sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be > 0")
+        if idle_current < 0 or heater_current < 0 or noise_level < 0:
+            raise ConfigurationError("currents/noise must be >= 0")
+        if heater_period <= 0:
+            raise ConfigurationError("heater_period must be > 0")
+        self.signatures = signatures or default_power_signatures()
+        self.sample_rate = float(sample_rate)
+        self.idle_current = float(idle_current)
+        self.heater_current = float(heater_current)
+        self.heater_period = float(heater_period)
+        self.noise_level = float(noise_level)
+
+    def segment_samples(self, segment: MotionSegment) -> int:
+        return max(1, int(round(segment.duration * self.sample_rate)))
+
+    def synthesize_segment(
+        self, segment: MotionSegment, *, t_start: float = 0.0, seed=None
+    ) -> np.ndarray:
+        """Current trace (A) for one segment, starting at wall time *t_start*
+        (the heater duty cycle is phase-continuous across segments)."""
+        rng = as_rng(seed)
+        n = self.segment_samples(segment)
+        t = t_start + np.arange(n) / self.sample_rate
+        nyquist = self.sample_rate / 2.0
+        current = np.full(n, self.idle_current)
+        # Heater duty cycle: the supply rail's RC filtering smooths the
+        # bang-bang control into a near-sinusoidal ripple.
+        duty = 0.5 * (1.0 + np.sin(2.0 * np.pi * t / self.heater_period))
+        current += self.heater_current * duty
+        for axis in sorted(segment.active_axes):
+            sig = self.signatures.get(axis)
+            if sig is None:
+                continue
+            current += sig.running_current
+            base = segment.step_frequencies.get(axis, 0.0)
+            if base <= 0:
+                continue
+            for k, gain in enumerate(sig.harmonic_gains, start=1):
+                f = base * k
+                if f >= nyquist or gain <= 0:
+                    continue  # The slow sensor cannot see this ripple.
+                phase = rng.uniform(0.0, 2.0 * np.pi)
+                current += (
+                    sig.running_current * sig.ripple_gain * gain
+                    * np.sin(2.0 * np.pi * f * t + phase)
+                )
+        if self.noise_level > 0:
+            current = current + rng.normal(0.0, self.noise_level, n)
+        return current
+
+    def render(self, segments, *, seed=None):
+        """Current trace for a whole plan; returns ``(trace, boundaries)``."""
+        rng = as_rng(seed)
+        chunks = []
+        boundaries = [0.0]
+        for segment in segments:
+            chunk = self.synthesize_segment(
+                segment, t_start=boundaries[-1], seed=rng
+            )
+            chunks.append(chunk)
+            boundaries.append(boundaries[-1] + len(chunk) / self.sample_rate)
+        trace = np.concatenate(chunks) if chunks else np.zeros(0)
+        return trace, boundaries

@@ -1,0 +1,123 @@
+"""The simulated 3D printer: G-code in, acoustic traces out.
+
+:class:`Printer3D` composes the planner and the acoustic synthesizer
+into the facade the rest of the library uses: run a program, get back a
+:class:`PrintRun` holding the planned segments, the microphone trace,
+and the segment boundaries needed to align cyber (G-code) and physical
+(audio) observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.flows.energy import EnergyFlowData
+from repro.manufacturing.acoustics import (
+    AcousticSynthesizer,
+    AnechoicChamber,
+    ContactMicrophone,
+)
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.kinematics import MachineConfig, MotionPlanner
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class PrintRun:
+    """Everything recorded while "printing" one program.
+
+    Attributes
+    ----------
+    program:
+        The executed :class:`GCodeProgram`.
+    segments:
+        Planned :class:`~repro.manufacturing.kinematics.MotionSegment`
+        list, in execution order.
+    audio:
+        The microphone trace as :class:`~repro.flows.energy.EnergyFlowData`.
+    boundaries:
+        Segment boundary times (seconds) aligned with *audio*;
+        ``len(segments) + 1`` entries.
+    """
+
+    program: GCodeProgram
+    segments: list
+    audio: EnergyFlowData
+    boundaries: list = field(default_factory=list)
+
+    def segment_audio(self, i: int) -> EnergyFlowData:
+        """The audio slice corresponding to segment *i*."""
+        if not 0 <= i < len(self.segments):
+            raise ConfigurationError(
+                f"segment index {i} out of range [0, {len(self.segments)})"
+            )
+        return self.audio.slice_time(self.boundaries[i], self.boundaries[i + 1])
+
+    @property
+    def duration(self) -> float:
+        return self.audio.duration
+
+    def __repr__(self):
+        return (
+            f"PrintRun(program={self.program.name!r}, "
+            f"segments={len(self.segments)}, duration={self.duration:.2f}s)"
+        )
+
+
+class Printer3D:
+    """Simulated fused-deposition 3D printer with a contact microphone.
+
+    Parameters
+    ----------
+    machine:
+        Kinematic configuration (motors, feed defaults).
+    sample_rate:
+        Microphone sample rate in Hz.
+    microphone, chamber:
+        Sensor/environment models forwarded to the synthesizer.
+    seed:
+        Base RNG seed; every :meth:`run` derives its own stream, so runs
+        are independent but the whole experiment is reproducible.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        *,
+        sample_rate: float = 12000.0,
+        microphone: ContactMicrophone | None = None,
+        chamber: AnechoicChamber | None = None,
+        seed=None,
+    ):
+        self.machine = machine or MachineConfig()
+        self.planner = MotionPlanner(self.machine)
+        self.synthesizer = AcousticSynthesizer(
+            self.machine.motors,
+            sample_rate=sample_rate,
+            microphone=microphone,
+            chamber=chamber,
+        )
+        self._rng = as_rng(seed)
+
+    @property
+    def sample_rate(self) -> float:
+        return self.synthesizer.sample_rate
+
+    def plan(self, program: GCodeProgram) -> list:
+        """Kinematic plan only (no audio)."""
+        return self.planner.plan(program)
+
+    def run(self, program: GCodeProgram, *, seed=None) -> PrintRun:
+        """Execute *program*: plan motion and record the acoustic trace."""
+        segments = self.planner.plan(program)
+        rng = as_rng(seed) if seed is not None else self._rng
+        audio, boundaries = self.synthesizer.render(segments, seed=rng)
+        return PrintRun(
+            program=program,
+            segments=segments,
+            audio=EnergyFlowData(
+                audio, self.sample_rate, name=f"acoustic:{program.name}"
+            ),
+            boundaries=boundaries,
+        )

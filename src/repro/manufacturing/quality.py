@@ -1,0 +1,122 @@
+"""Toolpath geometry and kinetic-cyber damage quantification.
+
+Kinetic-cyber attacks "directly impact the physical domain" — for a 3D
+printer, the damage is a wrong part.  This module turns planned motion
+into XY(Z) toolpath polylines and measures how far an attacked
+execution deviates from the claimed geometry:
+
+* :func:`toolpath_points` — the polyline a plan traces;
+* :func:`path_length` / :func:`bounding_box` — basic geometry;
+* :func:`hausdorff_distance` / :func:`mean_deviation` — symmetric
+  deviation metrics between claimed and executed toolpaths (computed on
+  densely resampled polylines, so differing waypoint counts compare
+  fairly).
+
+Used by the integrity-attack experiments to connect a cyber-domain
+tamper (axis swap, feed change) to physical-domain damage in
+millimeters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+#: Axes that define part geometry (the extruder E does not move the tool).
+GEOMETRY_AXES = ("X", "Y", "Z")
+
+
+def toolpath_points(segments) -> np.ndarray:
+    """Waypoints ``(n+1, 3)`` visited by a motion plan (XYZ, mm).
+
+    Dwells contribute no new waypoint.  The first row is the plan's
+    starting position.
+    """
+    segments = list(segments)
+    if not segments:
+        raise DataError("no segments in plan")
+    points = [[segments[0].start.get(a, 0.0) for a in GEOMETRY_AXES]]
+    for seg in segments:
+        if seg.is_dwell:
+            continue
+        points.append([seg.end.get(a, 0.0) for a in GEOMETRY_AXES])
+    return np.asarray(points, dtype=np.float64)
+
+
+def path_length(points: np.ndarray) -> float:
+    """Total polyline length in mm."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.shape[0] < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(points, axis=0), axis=1).sum())
+
+
+def bounding_box(points: np.ndarray):
+    """(min_corner, max_corner) of the toolpath."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    return points.min(axis=0), points.max(axis=0)
+
+
+def resample_polyline(points: np.ndarray, n_samples: int = 256) -> np.ndarray:
+    """Resample a polyline to *n_samples* points equally spaced by arc length."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if n_samples < 2:
+        raise ConfigurationError(f"n_samples must be >= 2, got {n_samples}")
+    if points.shape[0] == 1:
+        return np.tile(points, (n_samples, 1))
+    deltas = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(deltas)])
+    total = cum[-1]
+    if total == 0.0:
+        return np.tile(points[:1], (n_samples, 1))
+    targets = np.linspace(0.0, total, n_samples)
+    out = np.empty((n_samples, points.shape[1]))
+    for d in range(points.shape[1]):
+        out[:, d] = np.interp(targets, cum, points[:, d])
+    return out
+
+
+def hausdorff_distance(
+    path_a: np.ndarray, path_b: np.ndarray, *, n_samples: int = 256
+) -> float:
+    """Symmetric Hausdorff distance (mm) between two toolpaths.
+
+    The worst-case distance from any point of one path to the other —
+    the headline "how wrong is the part" number.
+    """
+    a = resample_polyline(path_a, n_samples)
+    b = resample_polyline(path_b, n_samples)
+    d = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+    return float(max(d.min(axis=1).max(), d.min(axis=0).max()))
+
+
+def mean_deviation(
+    path_a: np.ndarray, path_b: np.ndarray, *, n_samples: int = 256
+) -> float:
+    """Mean nearest-point distance (mm) between two toolpaths."""
+    a = resample_polyline(path_a, n_samples)
+    b = resample_polyline(path_b, n_samples)
+    d = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+    return float((d.min(axis=1).mean() + d.min(axis=0).mean()) / 2.0)
+
+
+def geometric_damage_report(claimed_segments, executed_segments) -> dict:
+    """Compare a claimed plan with the executed plan.
+
+    Returns a dict with the deviation metrics plus length/bbox changes —
+    the physical-damage summary of a kinetic-cyber attack.
+    """
+    claimed = toolpath_points(claimed_segments)
+    executed = toolpath_points(executed_segments)
+    c_min, c_max = bounding_box(claimed)
+    e_min, e_max = bounding_box(executed)
+    return {
+        "hausdorff_mm": hausdorff_distance(claimed, executed),
+        "mean_deviation_mm": mean_deviation(claimed, executed),
+        "claimed_length_mm": path_length(claimed),
+        "executed_length_mm": path_length(executed),
+        "bbox_growth_mm": float(
+            np.max(np.abs(e_max - c_max) + np.abs(e_min - c_min))
+        ),
+    }

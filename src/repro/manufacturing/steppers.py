@@ -1,0 +1,175 @@
+"""Stepper-motor models with acoustic signatures.
+
+A stepper advances in discrete steps; driving it at linear speed ``v``
+(mm/s) with ``steps_per_mm`` microsteps produces a dominant acoustic
+tone at the *step frequency* ``f = v * steps_per_mm`` plus harmonics,
+and excites the motor's mechanical resonance.  These tonal signatures
+are what leaks G-code information through the acoustic side channel
+(Chhetri et al. 2016/2018 — the authors' prior work this paper builds
+on).
+
+Each axis motor gets a distinct signature so the conditional
+distributions ``Pr(Freq | motor)`` are separable-but-overlapping, like
+the physical testbed:
+
+* X and Y drive similar belt gantries — close parameters, most mutual
+  confusion;
+* Z drives a lead screw — much higher steps/mm, lower travel speeds,
+  a distinct resonance; the paper found Z most identifiable (Table I),
+  and this model preserves that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AcousticSignature:
+    """Tonal/noise recipe for one motor.
+
+    Attributes
+    ----------
+    harmonic_gains:
+        Relative amplitudes of the step-frequency harmonics
+        (fundamental first).
+    resonance_hz:
+        Center of the motor/mount mechanical resonance.
+    resonance_bw_hz:
+        Resonance bandwidth (wider = flatter hump).
+    resonance_gain:
+        Amplitude of resonance-band noise relative to the fundamental.
+    broadband_gain:
+        Wideband hiss level while the motor runs.
+    amplitude:
+        Overall emission level coupled into the frame.
+    """
+
+    harmonic_gains: tuple = (1.0, 0.5, 0.25, 0.12)
+    resonance_hz: float = 1200.0
+    resonance_bw_hz: float = 300.0
+    resonance_gain: float = 0.3
+    broadband_gain: float = 0.05
+    amplitude: float = 1.0
+
+    def __post_init__(self):
+        if not self.harmonic_gains:
+            raise ConfigurationError("harmonic_gains must be non-empty")
+        if any(g < 0 for g in self.harmonic_gains):
+            raise ConfigurationError("harmonic gains must be >= 0")
+        for name in ("resonance_hz", "resonance_bw_hz", "amplitude"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+        for name in ("resonance_gain", "broadband_gain"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class StepperMotor:
+    """One axis motor: kinematic limits plus acoustic signature.
+
+    Attributes
+    ----------
+    axis:
+        Axis letter this motor drives (``"X"``, ``"Y"``, ``"Z"``, ``"E"``).
+    steps_per_mm:
+        Microsteps per millimeter of travel.
+    max_speed:
+        Maximum linear speed in mm/s.
+    signature:
+        The motor's :class:`AcousticSignature`.
+    """
+
+    axis: str
+    steps_per_mm: float
+    max_speed: float
+    signature: AcousticSignature = field(default_factory=AcousticSignature)
+
+    def __post_init__(self):
+        if self.steps_per_mm <= 0:
+            raise ConfigurationError(f"steps_per_mm must be > 0, got {self.steps_per_mm}")
+        if self.max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be > 0, got {self.max_speed}")
+
+    def step_frequency(self, speed_mm_s: float) -> float:
+        """Step (and fundamental acoustic) frequency at a linear speed."""
+        if speed_mm_s < 0:
+            raise ConfigurationError(f"speed must be >= 0, got {speed_mm_s}")
+        return speed_mm_s * self.steps_per_mm
+
+    def clamp_speed(self, speed_mm_s: float) -> float:
+        """Limit a requested speed to the motor's capability."""
+        return float(min(abs(speed_mm_s), self.max_speed))
+
+
+def default_motors() -> dict:
+    """The case-study motor set, tuned to echo the physical testbed.
+
+    Signature choices and their consequences for the experiments:
+
+    * **X** — 80 steps/mm belt drive, resonance at 900 Hz.
+    * **Y** — 80 steps/mm belt drive moving the heavier bed: resonance
+      at 1350 Hz, slightly stronger broadband.  X and Y overlap most,
+      so the CGAN confuses them most (paper: Cond2 lowest Cor).
+    * **Z** — 400 steps/mm lead screw: step frequencies ~5x higher at
+      the same feed, sharp resonance at 2600 Hz.  Most distinctive ⇒
+      highest correct likelihood (paper: Cond3 best).
+    * **E** — extruder, 95 steps/mm, mid resonance.
+    """
+    return {
+        "X": StepperMotor(
+            axis="X",
+            steps_per_mm=80.0,
+            max_speed=200.0,
+            signature=AcousticSignature(
+                harmonic_gains=(1.0, 0.55, 0.28, 0.12),
+                resonance_hz=900.0,
+                resonance_bw_hz=250.0,
+                resonance_gain=0.35,
+                broadband_gain=0.05,
+                amplitude=1.0,
+            ),
+        ),
+        "Y": StepperMotor(
+            axis="Y",
+            steps_per_mm=80.0,
+            max_speed=200.0,
+            signature=AcousticSignature(
+                harmonic_gains=(1.0, 0.5, 0.3, 0.15),
+                resonance_hz=1350.0,
+                resonance_bw_hz=250.0,
+                resonance_gain=0.45,
+                broadband_gain=0.055,
+                amplitude=0.95,
+            ),
+        ),
+        "Z": StepperMotor(
+            axis="Z",
+            steps_per_mm=400.0,
+            max_speed=25.0,
+            signature=AcousticSignature(
+                harmonic_gains=(1.0, 0.4, 0.15, 0.05),
+                resonance_hz=2600.0,
+                resonance_bw_hz=180.0,
+                resonance_gain=0.9,
+                broadband_gain=0.04,
+                amplitude=1.2,
+            ),
+        ),
+        "E": StepperMotor(
+            axis="E",
+            steps_per_mm=95.0,
+            max_speed=60.0,
+            signature=AcousticSignature(
+                harmonic_gains=(1.0, 0.45, 0.2, 0.08),
+                resonance_hz=1500.0,
+                resonance_bw_hz=350.0,
+                resonance_gain=0.3,
+                broadband_gain=0.06,
+                amplitude=0.8,
+            ),
+        ),
+    }

@@ -1,0 +1,65 @@
+"""WAV export/import for simulated microphone traces.
+
+Useful for listening to the synthetic printer (sanity-checking the
+acoustic model by ear) and for interchanging traces with external
+signal-processing tools.  Uses only the standard-library ``wave``
+module; traces are stored as 16-bit mono PCM.
+"""
+
+from __future__ import annotations
+
+import wave
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.flows.energy import EnergyFlowData
+
+_PCM_MAX = 32767
+
+
+def write_wav(trace: EnergyFlowData, path, *, normalize: bool = True) -> Path:
+    """Write an energy-flow trace to a 16-bit mono WAV file.
+
+    Parameters
+    ----------
+    trace:
+        The microphone trace.
+    normalize:
+        If true (default), peak-normalize to 90% full scale; otherwise
+        samples are clipped to [-1, 1] before quantization.
+    """
+    samples = trace.samples
+    if normalize:
+        peak = float(np.max(np.abs(samples)))
+        if peak > 0:
+            samples = samples / peak * 0.9
+    samples = np.clip(samples, -1.0, 1.0)
+    pcm = (samples * _PCM_MAX).astype("<i2")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with wave.open(str(path), "wb") as out:
+        out.setnchannels(1)
+        out.setsampwidth(2)
+        out.setframerate(int(round(trace.sample_rate)))
+        out.writeframes(pcm.tobytes())
+    return path
+
+
+def read_wav(path, *, name: str = "wav") -> EnergyFlowData:
+    """Read a mono 16-bit WAV file back into an :class:`EnergyFlowData`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such wav file: {path}")
+    with wave.open(str(path), "rb") as src:
+        if src.getnchannels() != 1:
+            raise DataError(f"{path} is not mono ({src.getnchannels()} channels)")
+        if src.getsampwidth() != 2:
+            raise DataError(f"{path} is not 16-bit PCM")
+        rate = src.getframerate()
+        raw = src.readframes(src.getnframes())
+    pcm = np.frombuffer(raw, dtype="<i2")
+    if pcm.size == 0:
+        raise DataError(f"{path} contains no samples")
+    return EnergyFlowData(pcm.astype(np.float64) / _PCM_MAX, float(rate), name=name)

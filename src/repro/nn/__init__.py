@@ -1,0 +1,117 @@
+"""A small from-scratch neural-network framework (numpy only).
+
+This is the substrate GAN-Sec's Algorithm 2 runs on.  It provides dense
+feed-forward networks with manual backprop: layers, activations, losses
+(including both GAN generator objectives), first-order optimizers, weight
+serialization, and finite-difference gradient checking.
+
+Quick example::
+
+    from repro.nn import Sequential, Dense
+
+    net = Sequential(
+        [Dense(64, "relu"), Dense(1, "sigmoid")],
+        input_dim=10,
+        seed=0,
+    )
+    y = net.predict(x)
+"""
+
+from repro.nn.activations import (
+    Activation,
+    ELU,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+from repro.nn.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    Initializer,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    get_initializer,
+)
+from repro.nn.layers import ActivationLayer, BatchNorm, Dense, Dropout, Layer
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    GeneratorLossMinimax,
+    GeneratorLossNonSaturating,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    discriminator_loss,
+    get_loss,
+)
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp, get_optimizer
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineDecay,
+    ExponentialDecay,
+    Schedule,
+    ScheduledOptimizer,
+    StepDecay,
+    WarmupSchedule,
+    attach_schedule,
+)
+from repro.nn.serialization import load_weights, save_weights
+
+__all__ = [
+    "Activation",
+    "ActivationLayer",
+    "Adam",
+    "BatchNorm",
+    "BinaryCrossEntropy",
+    "Constant",
+    "ConstantSchedule",
+    "CosineDecay",
+    "Dense",
+    "Dropout",
+    "ELU",
+    "ExponentialDecay",
+    "GeneratorLossMinimax",
+    "GeneratorLossNonSaturating",
+    "GlorotNormal",
+    "GlorotUniform",
+    "HeNormal",
+    "HeUniform",
+    "Identity",
+    "Initializer",
+    "Layer",
+    "LeakyReLU",
+    "Loss",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "Optimizer",
+    "RMSProp",
+    "RandomNormal",
+    "RandomUniform",
+    "ReLU",
+    "SGD",
+    "Schedule",
+    "ScheduledOptimizer",
+    "StepDecay",
+    "Sequential",
+    "Sigmoid",
+    "Softplus",
+    "Tanh",
+    "WarmupSchedule",
+    "Zeros",
+    "attach_schedule",
+    "discriminator_loss",
+    "get_activation",
+    "get_initializer",
+    "get_loss",
+    "get_optimizer",
+    "load_weights",
+    "save_weights",
+]

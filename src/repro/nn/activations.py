@@ -1,0 +1,153 @@
+"""Elementwise activation functions with analytic derivatives.
+
+Each activation is a stateless object exposing ``forward(x)`` and
+``backward(x, y)`` where *y* is the cached forward output — several
+derivatives (sigmoid, tanh) are cheapest in terms of the output, so both
+are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Activation:
+    """Base class for elementwise activations."""
+
+    name = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return dy/dx evaluated elementwise, given input *x* and output *y*."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    name = "identity"
+
+    def forward(self, x):
+        return x
+
+    def backward(self, x, y):
+        return np.ones_like(x)
+
+
+class ReLU(Activation):
+    name = "relu"
+
+    def forward(self, x):
+        return np.maximum(x, 0.0)
+
+    def backward(self, x, y):
+        return (x > 0.0).astype(x.dtype)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU — the paper-standard discriminator activation for GANs."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.2):
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, x):
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def backward(self, x, y):
+        return np.where(x > 0.0, 1.0, self.alpha).astype(x.dtype)
+
+    def __repr__(self):
+        return f"LeakyReLU(alpha={self.alpha})"
+
+
+class Sigmoid(Activation):
+    name = "sigmoid"
+
+    def forward(self, x):
+        # Numerically stable split over the sign of x.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, x, y):
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Tanh — the standard generator output activation for data in [-1, 1].
+
+    GAN-Sec scales acoustic frequency features into [0, 1]; the generator
+    in this library therefore typically ends in :class:`Sigmoid` or a tanh
+    rescaled by the caller.
+    """
+
+    name = "tanh"
+
+    def forward(self, x):
+        return np.tanh(x)
+
+    def backward(self, x, y):
+        return 1.0 - y * y
+
+
+class Softplus(Activation):
+    name = "softplus"
+
+    def forward(self, x):
+        return np.logaddexp(0.0, x)
+
+    def backward(self, x, y):
+        return Sigmoid().forward(x)
+
+
+class ELU(Activation):
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, x):
+        return np.where(x > 0.0, x, self.alpha * np.expm1(x))
+
+    def backward(self, x, y):
+        return np.where(x > 0.0, 1.0, y + self.alpha).astype(x.dtype)
+
+    def __repr__(self):
+        return f"ELU(alpha={self.alpha})"
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (Identity, ReLU, LeakyReLU, Sigmoid, Tanh, Softplus, ELU)
+}
+_REGISTRY["linear"] = Identity
+
+
+def get_activation(spec) -> Activation:
+    """Resolve *spec* (name, class, or instance) to an activation instance."""
+    if isinstance(spec, Activation):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Activation):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown activation {spec!r}; choose from {sorted(_REGISTRY)}"
+            ) from None
+    raise ConfigurationError(f"cannot interpret activation spec: {spec!r}")

@@ -1,0 +1,281 @@
+"""Trainable layers with explicit forward/backward passes.
+
+The framework is deliberately small: GAN-Sec's generator and discriminator
+are conditional MLPs, so dense layers, activations, dropout, and batch
+normalization cover the whole paper.  Each layer owns its parameters and
+the gradients computed during the last backward pass; optimizers iterate
+``layer.parameters()`` / ``layer.gradients()`` pairs.
+
+Conventions
+-----------
+* Batches are row-major: inputs have shape ``(batch, features)``.
+* ``forward(x, training=...)`` caches whatever ``backward`` needs.
+* ``backward(grad_out)`` returns the gradient w.r.t. the layer input and
+  stores parameter gradients internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.activations import get_activation
+from repro.nn.initializers import get_initializer
+from repro.utils.rng import as_rng
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self):
+        self.built = False
+
+    # -- parameter plumbing -------------------------------------------------
+    def parameters(self) -> dict:
+        """Mapping of parameter name -> ndarray (shared, not copied)."""
+        return {}
+
+    def gradients(self) -> dict:
+        """Mapping of parameter name -> gradient ndarray from last backward."""
+        return {}
+
+    # -- computation --------------------------------------------------------
+    def build(self, input_dim: int, rng) -> int:
+        """Allocate parameters for a given input width; return output width."""
+        self.built = True
+        return input_dim
+
+    def forward(self, x, training: bool = False):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b`` with optional activation.
+
+    Parameters
+    ----------
+    units:
+        Output width.
+    activation:
+        Activation spec (name / instance / ``None`` for linear).
+    kernel_init, bias_init:
+        Initializer specs; default Glorot uniform / zeros.
+    use_bias:
+        Disable the additive bias if false.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        activation=None,
+        *,
+        kernel_init="glorot_uniform",
+        bias_init="zeros",
+        use_bias: bool = True,
+    ):
+        super().__init__()
+        if units <= 0:
+            raise ConfigurationError(f"units must be > 0, got {units}")
+        self.units = int(units)
+        self.activation = get_activation(activation) if activation else None
+        self.kernel_init = get_initializer(kernel_init)
+        self.bias_init = get_initializer(bias_init)
+        self.use_bias = bool(use_bias)
+        self.W = None
+        self.b = None
+        self.dW = None
+        self.db = None
+        self._x = None
+        self._pre = None
+        self._out = None
+
+    def build(self, input_dim, rng):
+        rng = as_rng(rng)
+        self.W = self.kernel_init((input_dim, self.units), rng)
+        self.b = self.bias_init((self.units,), rng) if self.use_bias else None
+        self.built = True
+        return self.units
+
+    def parameters(self):
+        params = {"W": self.W}
+        if self.use_bias:
+            params["b"] = self.b
+        return params
+
+    def gradients(self):
+        grads = {"W": self.dW}
+        if self.use_bias:
+            grads["b"] = self.db
+        return grads
+
+    def forward(self, x, training=False):
+        if not self.built:
+            raise ConfigurationError("Dense layer used before build()")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.W.shape[0]:
+            raise ShapeError(
+                f"Dense expected input (batch, {self.W.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        pre = x @ self.W
+        if self.use_bias:
+            pre = pre + self.b
+        self._pre = pre
+        self._out = self.activation.forward(pre) if self.activation else pre
+        return self._out
+
+    def backward(self, grad_out):
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if self.activation:
+            grad_pre = grad_out * self.activation.backward(self._pre, self._out)
+        else:
+            grad_pre = grad_out
+        self.dW = self._x.T @ grad_pre
+        if self.use_bias:
+            self.db = grad_pre.sum(axis=0)
+        return grad_pre @ self.W.T
+
+    def __repr__(self):
+        act = self.activation.name if self.activation else "linear"
+        return f"Dense(units={self.units}, activation={act!r})"
+
+
+class ActivationLayer(Layer):
+    """Wrap a standalone activation as a layer (no parameters)."""
+
+    def __init__(self, activation):
+        super().__init__()
+        self.activation = get_activation(activation)
+        self._x = None
+        self._y = None
+
+    def build(self, input_dim, rng):
+        self.built = True
+        return input_dim
+
+    def forward(self, x, training=False):
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = self.activation.forward(self._x)
+        return self._y
+
+    def backward(self, grad_out):
+        return grad_out * self.activation.backward(self._x, self._y)
+
+    def __repr__(self):
+        return f"ActivationLayer({self.activation.name!r})"
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    During GAN training, dropout in the discriminator acts as the paper's
+    knob for modeling a weaker attacker/detector (fewer effective
+    parameters per step).
+    """
+
+    def __init__(self, rate: float, *, seed=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_rng(seed)
+        self._mask = None
+
+    def build(self, input_dim, rng):
+        self.built = True
+        return input_dim
+
+    def forward(self, x, training=False):
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out):
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def __repr__(self):
+        return f"Dropout(rate={self.rate})"
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the batch axis with learned scale/shift.
+
+    Uses batch statistics when ``training=True`` and exponential running
+    statistics at inference, the standard Ioffe–Szegedy recipe.
+    """
+
+    def __init__(self, *, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        if not 0.0 < momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in (0,1), got {momentum}")
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = None
+        self.beta = None
+        self.dgamma = None
+        self.dbeta = None
+        self.running_mean = None
+        self.running_var = None
+        self._cache = None
+
+    def build(self, input_dim, rng):
+        self.gamma = np.ones(input_dim, dtype=np.float64)
+        self.beta = np.zeros(input_dim, dtype=np.float64)
+        self.running_mean = np.zeros(input_dim, dtype=np.float64)
+        self.running_var = np.ones(input_dim, dtype=np.float64)
+        self.built = True
+        return input_dim
+
+    def parameters(self):
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def gradients(self):
+        return {"gamma": self.dgamma, "beta": self.dbeta}
+
+    def forward(self, x, training=False):
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * mean
+            self.running_var = m * self.running_var + (1 - m) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std) if training else None
+        return self.gamma * x_hat + self.beta
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            # Inference-mode backward: statistics are constants.
+            inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+            return grad_out * self.gamma * inv_std
+        x_hat, inv_std = self._cache
+        n = grad_out.shape[0]
+        self.dgamma = (grad_out * x_hat).sum(axis=0)
+        self.dbeta = grad_out.sum(axis=0)
+        dxhat = grad_out * self.gamma
+        # Standard batchnorm backward (vectorized).
+        return (
+            inv_std
+            / n
+            * (n * dxhat - dxhat.sum(axis=0) - x_hat * (dxhat * x_hat).sum(axis=0))
+        )
+
+    def __repr__(self):
+        return f"BatchNorm(momentum={self.momentum}, eps={self.eps})"

@@ -1,0 +1,151 @@
+"""First-order optimizers operating on (parameter, gradient) dictionaries.
+
+An optimizer holds per-parameter state keyed by ``(layer_index, name)``.
+The network calls :meth:`Optimizer.step` with the list of layers after a
+backward pass; updates are applied in place so layer parameter arrays keep
+their identity (which the serialization code relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`update` for one tensor."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self._state: dict = {}
+        self.iterations = 0
+
+    def reset(self):
+        """Drop accumulated state (momentum buffers, moment estimates)."""
+        self._state.clear()
+        self.iterations = 0
+
+    def step(self, layers) -> None:
+        """Apply one update to every trainable parameter of *layers*."""
+        self.iterations += 1
+        for li, layer in enumerate(layers):
+            params = layer.parameters()
+            grads = layer.gradients()
+            for name, param in params.items():
+                grad = grads.get(name)
+                if grad is None:
+                    continue
+                self.update((li, name), param, np.asarray(grad, dtype=np.float64))
+
+    def update(self, key, param, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(lr={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent, optionally with momentum.
+
+    Algorithm 2 in the paper is stated in terms of raw stochastic
+    gradients, so ``SGD(momentum=0)`` is the most literal reproduction;
+    Adam (below) is the practical default.
+    """
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0, nesterov: bool = False):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0,1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ConfigurationError("nesterov requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+
+    def update(self, key, param, grad):
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        buf = self._state.setdefault(key, np.zeros_like(param))
+        buf *= self.momentum
+        buf -= self.learning_rate * grad
+        if self.nesterov:
+            param += self.momentum * buf - self.learning_rate * grad
+        else:
+            param += buf
+
+
+class RMSProp(Optimizer):
+    """RMSProp with an exponentially decayed squared-gradient average."""
+
+    def __init__(self, learning_rate: float = 0.001, rho: float = 0.9, eps: float = 1e-8):
+        super().__init__(learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ConfigurationError(f"rho must be in (0,1), got {rho}")
+        self.rho = float(rho)
+        self.eps = float(eps)
+
+    def update(self, key, param, grad):
+        acc = self._state.setdefault(key, np.zeros_like(param))
+        acc *= self.rho
+        acc += (1.0 - self.rho) * grad * grad
+        param -= self.learning_rate * grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected first/second moments.
+
+    The de-facto GAN optimizer; ``beta1=0.5`` is the common GAN setting
+    (following DCGAN) and the library default for Algorithm 2.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.5,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ConfigurationError(f"beta1 must be in [0,1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"beta2 must be in [0,1), got {beta2}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+
+    def update(self, key, param, grad):
+        m, v, t = self._state.setdefault(
+            key, [np.zeros_like(param), np.zeros_like(param), 0]
+        )
+        t += 1
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        self._state[key][2] = t
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_REGISTRY = {"sgd": SGD, "rmsprop": RMSProp, "adam": Adam}
+
+
+def get_optimizer(spec, **kwargs) -> Optimizer:
+    """Resolve *spec* (name, class, or instance) to an optimizer instance."""
+    if isinstance(spec, Optimizer):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Optimizer):
+        return spec(**kwargs)
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec.lower()](**kwargs)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown optimizer {spec!r}; choose from {sorted(_REGISTRY)}"
+            ) from None
+    raise ConfigurationError(f"cannot interpret optimizer spec: {spec!r}")

@@ -1,0 +1,76 @@
+"""Saving and loading network weights.
+
+Weights are stored in numpy ``.npz`` archives with a small JSON header
+describing the architecture fingerprint, so that loading into a
+mismatched network fails loudly instead of silently corrupting a model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.network import Sequential
+
+_FORMAT_VERSION = 1
+
+
+def _fingerprint(net: Sequential) -> dict:
+    """Architecture fingerprint: layer reprs plus parameter shapes."""
+    return {
+        "layers": [repr(layer) for layer in net.layers],
+        "input_dim": net.input_dim,
+        "output_dim": net.output_dim,
+        "param_shapes": {
+            f"{li}.{name}": list(arr.shape) for li, name, arr in net.parameters()
+        },
+    }
+
+
+def save_weights(net: Sequential, path) -> Path:
+    """Serialize *net*'s weights (and fingerprint) to ``path`` (.npz)."""
+    if not net.built:
+        raise SerializationError("cannot save an unbuilt network")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = json.dumps({"version": _FORMAT_VERSION, "fingerprint": _fingerprint(net)})
+    arrays = {key.replace(".", "__"): arr for key, arr in net.get_weights().items()}
+    np.savez(path, __header__=np.frombuffer(header.encode(), dtype=np.uint8), **arrays)
+    return path
+
+
+def load_weights(net: Sequential, path) -> Sequential:
+    """Load weights from ``path`` into *net*, verifying the fingerprint."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such weights file: {path}")
+    try:
+        with np.load(path) as data:
+            header_bytes = bytes(data["__header__"])
+            arrays = {
+                key.replace("__", "."): data[key]
+                for key in data.files
+                if key != "__header__"
+            }
+    except Exception as exc:  # malformed archive
+        raise SerializationError(f"cannot read weights file {path}: {exc}") from exc
+    try:
+        header = json.loads(header_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt header in {path}: {exc}") from exc
+    if header.get("version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"weights format version {header.get('version')} not supported"
+        )
+    want = _fingerprint(net)["param_shapes"]
+    have = header["fingerprint"]["param_shapes"]
+    if want != have:
+        raise SerializationError(
+            "architecture mismatch between network and weights file:\n"
+            f"  network: {want}\n  file:    {have}"
+        )
+    net.set_weights(arrays)
+    return net

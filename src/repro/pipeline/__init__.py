@@ -1,0 +1,22 @@
+"""End-to-end GAN-Sec pipeline (the Figure 4 automatic model-generation
+method): Algorithm 1 → Algorithm 2 per flow pair → Algorithm 3 reports.
+"""
+
+from repro.pipeline.config import AnalysisConfig, CGANConfig, GANSecConfig
+from repro.pipeline.gansec import GANSec, PairModel
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "CGANConfig",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GANSec",
+    "GANSecConfig",
+    "PairModel",
+    "run_experiment",
+]

@@ -1,0 +1,260 @@
+"""The GAN-Sec methodology end to end (paper Figure 4).
+
+:class:`GANSec` chains the two model-generation steps and the analysis:
+
+1. **Graph generation** (Algorithm 1): the design-time architecture is
+   turned into ``G_CPPS``, candidate flow pairs are extracted by DFS
+   reachability, and pruned to the pairs covered by historical data.
+2. **CGAN model generation** (Algorithm 2): one conditional GAN is
+   trained per trainable flow pair from its aligned dataset.
+3. **Security analysis** (Algorithm 3 + attack models): likelihood
+   metrics, side-channel leakage, and a designer-facing report per pair.
+
+The historical data is supplied as a mapping ``(F_i name, F_j name) ->
+FlowPairDataset`` — in the case study that single entry is the
+(acoustic features | G-code condition) dataset recorded from the
+simulated printer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.flows.dataset import FlowPairDataset
+from repro.gan.cgan import ConditionalGAN, default_generator
+from repro.graph.architecture import CPPSArchitecture
+from repro.graph.builder import GraphGenerationResult, generate
+from repro.nn.layers import Dense
+from repro.pipeline.config import GANSecConfig
+from repro.security.report import SecurityReport, build_security_report
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+@dataclass
+class PairModel:
+    """A trained model + split data for one flow pair."""
+
+    pair_names: tuple
+    cgan: ConditionalGAN
+    train_set: FlowPairDataset
+    test_set: FlowPairDataset
+    report: SecurityReport | None = None
+
+
+class GANSec:
+    """End-to-end GAN-Sec analysis driver.
+
+    Parameters
+    ----------
+    architecture:
+        The design-time CPPS description.
+    config:
+        :class:`~repro.pipeline.config.GANSecConfig` (defaults are the
+        case-study settings).
+    """
+
+    def __init__(
+        self,
+        architecture: CPPSArchitecture,
+        config: GANSecConfig | None = None,
+    ):
+        self.architecture = architecture
+        self.config = config or GANSecConfig()
+        self.graph_result: GraphGenerationResult | None = None
+        self.models: dict = {}
+        self._rng = as_rng(self.config.seed)
+
+    # -- step 1: Algorithm 1 -----------------------------------------------------
+    def generate_graph(self, data: dict) -> GraphGenerationResult:
+        """Run Algorithm 1 against the flows covered by *data*.
+
+        *data* maps ``(first_flow, second_flow)`` name tuples to
+        :class:`FlowPairDataset`; its keys define which flows have
+        historical observations.
+        """
+        available = set()
+        for first, second in data:
+            available.add(first)
+            available.add(second)
+        self.graph_result = generate(self.architecture, available)
+        return self.graph_result
+
+    # -- step 2: Algorithm 2 -----------------------------------------------------
+    def _build_cgan(self, feature_dim: int, condition_dim: int, seed) -> ConditionalGAN:
+        cfg = self.config.cgan
+        gen_layers = default_generator(feature_dim, hidden=cfg.generator_hidden)
+        # default_discriminator has a fixed head; rebuild with config widths.
+        disc_layers = [
+            Dense(h, "leaky_relu", kernel_init="he_uniform")
+            for h in cfg.discriminator_hidden
+        ] + [Dense(1, "sigmoid")]
+        return ConditionalGAN(
+            feature_dim,
+            condition_dim,
+            noise_dim=cfg.noise_dim,
+            generator_layers=gen_layers,
+            discriminator_layers=disc_layers,
+            generator_loss=cfg.generator_loss,
+            learning_rate=cfg.learning_rate,
+            seed=seed,
+        )
+
+    def train_models(self, data: dict, *, pairs=None) -> dict:
+        """Train one CGAN per covered flow pair (Algorithm 2).
+
+        Parameters
+        ----------
+        data:
+            ``(F_i, F_j) name tuple -> FlowPairDataset``.
+        pairs:
+            Optional subset of name tuples to train; defaults to every
+            key of *data* that survived Algorithm 1's pruning.
+
+        Returns the mapping of pair names to :class:`PairModel`.
+        """
+        if self.graph_result is None:
+            self.generate_graph(data)
+        # The paper: "Each pair is then supplied to the CGAN to model
+        # Pr(F_i|F_j) or Pr(F_j|F_i)" — Algorithm 1 orders pairs causally,
+        # but either conditioning direction may be trained.
+        trainable_names = set()
+        for fp in self.graph_result.trainable_pairs:
+            trainable_names.add(fp.names)
+            trainable_names.add(fp.names[::-1])
+        selected = pairs if pairs is not None else list(data.keys())
+        cfg = self.config
+        for names in selected:
+            names = tuple(names)
+            if names not in data:
+                raise DataError(f"no dataset supplied for pair {names}")
+            if names not in trainable_names:
+                raise ConfigurationError(
+                    f"pair {names} was pruned by Algorithm 1 (not reachable "
+                    "or not covered by data); cannot train"
+                )
+            dataset = data[names]
+            split_rng, train_rng, model_rng = spawn_rngs(self._rng, 3)
+            train_set, test_set = dataset.split(
+                cfg.analysis.test_fraction, seed=split_rng
+            )
+            cgan = self._build_cgan(
+                dataset.feature_dim, dataset.condition_dim, model_rng
+            )
+            cgan.train(
+                train_set,
+                iterations=cfg.cgan.iterations,
+                batch_size=cfg.cgan.batch_size,
+                k_disc=cfg.cgan.k_disc,
+                label_smoothing=cfg.cgan.label_smoothing,
+                seed=train_rng,
+            )
+            self.models[names] = PairModel(
+                pair_names=names,
+                cgan=cgan,
+                train_set=train_set,
+                test_set=test_set,
+            )
+        return self.models
+
+    # -- step 3: Algorithm 3 + reporting ------------------------------------------
+    def analyze(self, pair_names=None) -> dict:
+        """Run the security analysis for trained pairs.
+
+        Returns ``pair names -> SecurityReport`` and caches each report
+        on its :class:`PairModel`.
+        """
+        if not self.models:
+            raise NotFittedError("train_models() must run before analyze()")
+        targets = (
+            [tuple(pair_names)] if pair_names is not None else list(self.models)
+        )
+        cfg = self.config.analysis
+        reports = {}
+        for names in targets:
+            if names not in self.models:
+                raise DataError(f"pair {names} has no trained model")
+            model = self.models[names]
+            report = build_security_report(
+                model.cgan,
+                model.test_set,
+                pair_name=f"({names[0]} | {names[1]})",
+                h=cfg.h,
+                g_size=cfg.g_size,
+                feature_indices=cfg.feature_indices,
+                seed=self._rng,
+            )
+            model.report = report
+            reports[names] = report
+        return reports
+
+    def run(self, data: dict) -> dict:
+        """Convenience: graph → training → analysis in one call."""
+        self.generate_graph(data)
+        self.train_models(data)
+        return self.analyze()
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, directory) -> "Path":
+        """Persist all trained pair models (CGAN + splits) to *directory*.
+
+        Layout: one subdirectory per pair named ``<first>__<second>``
+        holding the CGAN (see :func:`repro.gan.serialization.save_cgan`)
+        and the train/test datasets.
+        """
+        from pathlib import Path
+
+        from repro.flows.io import save_dataset
+        from repro.gan.serialization import save_cgan
+
+        if not self.models:
+            raise NotFittedError("nothing to save: train_models() first")
+        directory = Path(directory)
+        for names, model in self.models.items():
+            pair_dir = directory / f"{names[0]}__{names[1]}"
+            save_cgan(model.cgan, pair_dir / "cgan")
+            save_dataset(model.train_set, pair_dir / "train.npz")
+            save_dataset(model.test_set, pair_dir / "test.npz")
+        return directory
+
+    def load(self, directory) -> dict:
+        """Restore pair models saved by :meth:`save` into this pipeline."""
+        from pathlib import Path
+
+        from repro.errors import SerializationError
+        from repro.flows.io import load_dataset
+        from repro.gan.serialization import load_cgan
+
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise SerializationError(f"no such model directory: {directory}")
+        loaded = {}
+        for pair_dir in sorted(p for p in directory.iterdir() if p.is_dir()):
+            if "__" not in pair_dir.name:
+                continue
+            first, second = pair_dir.name.split("__", 1)
+            names = (first, second)
+            loaded[names] = PairModel(
+                pair_names=names,
+                cgan=load_cgan(pair_dir / "cgan"),
+                train_set=load_dataset(pair_dir / "train.npz"),
+                test_set=load_dataset(pair_dir / "test.npz"),
+            )
+        if not loaded:
+            raise SerializationError(f"no pair models found under {directory}")
+        self.models.update(loaded)
+        return loaded
+
+    def summary(self) -> str:
+        """Short textual overview of the whole pipeline state."""
+        lines = [f"GANSec pipeline for architecture {self.architecture.name!r}"]
+        if self.graph_result is not None:
+            lines.append("  " + self.graph_result.summary())
+        lines.append(f"  trained pairs: {len(self.models)}")
+        for names, model in self.models.items():
+            status = "analyzed" if model.report else "trained"
+            lines.append(
+                f"    {names}: {status}, train={len(model.train_set)}, "
+                f"test={len(model.test_set)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Attack injection: produce tampered workloads for detector evaluation.
+
+Two cross-domain attack families from the paper's threat model:
+
+* **integrity** (kinetic-cyber): the executed motion differs from the
+  claimed G-code — an attacker swapped axes, rescaled feeds, or
+  substituted moves (cf. Stuxnet-style sabotage of part geometry);
+* **availability**: a motor is stalled/disabled, so a claimed move
+  produces (almost) no emission.
+
+Each injector returns ``(attacked_features, claimed_conditions)``:
+the *claimed* condition is what the controller believes (from the
+original G-code), while the features come from what "really" happened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.dsp.features import FrequencyFeatureExtractor
+from repro.flows.dataset import FlowPairDataset
+from repro.flows.encoding import ConditionEncoder
+from repro.manufacturing.printer import Printer3D
+from repro.manufacturing.traces import collect_segments
+from repro.manufacturing.programs import single_motor_program
+from repro.utils.rng import as_rng
+
+
+def axis_swap_attack(
+    dataset: FlowPairDataset, *, seed=None, n_attacks: int | None = None
+):
+    """Integrity attack in feature space: the emission of one condition
+    is presented under the *claim* of another.
+
+    Models an attacker who rewrote the G-code on its way to the printer
+    (the move that ran is not the move the controller logged).  Rows are
+    drawn from *dataset*; each keeps its real features but claims a
+    different (uniformly chosen) condition.
+    """
+    rng = as_rng(seed)
+    if n_attacks is not None and n_attacks <= 0:
+        raise ConfigurationError(f"n_attacks must be > 0, got {n_attacks}")
+    n = n_attacks if n_attacks is not None else len(dataset)
+    conditions = dataset.unique_conditions()
+    if len(conditions) < 2:
+        raise DataError("axis swap needs at least two distinct conditions")
+    idx = rng.integers(0, len(dataset), size=n)
+    features = dataset.features[idx]
+    claims = np.empty((n, dataset.condition_dim))
+    for row, i in enumerate(idx):
+        true_cond = dataset.conditions[i]
+        others = [c for c in conditions if not np.allclose(c, true_cond)]
+        claims[row] = others[rng.integers(0, len(others))]
+    return features, claims
+
+
+def motor_stall_attack(
+    printer: Printer3D,
+    extractor: FrequencyFeatureExtractor,
+    encoder: ConditionEncoder,
+    axis: str,
+    *,
+    n_moves: int = 20,
+    seed=None,
+):
+    """Availability attack: the *axis* motor is disabled.
+
+    Simulated physically: the claimed program commands *axis* moves, but
+    the executed machine has that motor's acoustic amplitude (and
+    motion) suppressed — the recorded emission is essentially ambient
+    noise.  Features are extracted with the defender's fitted extractor.
+
+    Returns ``(features, claimed_conditions)``.
+    """
+    rng = as_rng(seed)
+    program = single_motor_program(axis, n_moves, seed=rng)
+    run = printer.run(program, seed=rng)
+    segments = collect_segments([run])
+    if not segments:
+        raise DataError("stall attack produced no usable segments")
+    claims = []
+    silent_features = []
+    ambient = printer.synthesizer.chamber.ambient_noise_level or 1e-3
+    for seg in segments:
+        try:
+            claims.append(encoder.encode(seg.active_axes))
+        except DataError:
+            continue
+        # The motor never ran: the microphone recorded only noise.
+        noise = rng.normal(0.0, ambient, size=len(seg.samples))
+        silent_features.append(extractor.scaler.transform(
+            extractor.raw_features(noise)
+        ))
+    if not silent_features:
+        raise DataError("no encodable claimed segments in stall attack")
+    return np.vstack(silent_features), np.vstack(claims)
+
+
+def feed_rate_attack(
+    printer: Printer3D,
+    extractor: FrequencyFeatureExtractor,
+    encoder: ConditionEncoder,
+    axis: str,
+    *,
+    scale: float = 2.0,
+    n_moves: int = 20,
+    seed=None,
+):
+    """Integrity attack: executed feed rates are rescaled by *scale*.
+
+    The part geometry/quality changes (over/under-extrusion, missed
+    steps) while the commanded G-code text — and hence the claimed
+    conditions — stays the same.  Detectable because step frequencies
+    (and so emission spectra) shift with speed.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    if abs(scale - 1.0) < 1e-9:
+        raise ConfigurationError("scale=1 is not an attack")
+    rng = as_rng(seed)
+    claimed_program = single_motor_program(axis, n_moves, seed=rng)
+    # The victim executes the same geometry at tampered feed rates.
+    tampered_cmds = []
+    for cmd in claimed_program:
+        if cmd.is_motion and "F" in cmd.params:
+            tampered_cmds.append(cmd.replace_params(F=cmd.params["F"] * scale))
+        else:
+            tampered_cmds.append(cmd)
+    from repro.manufacturing.gcode import GCodeProgram
+
+    tampered = GCodeProgram(tampered_cmds, name=f"{claimed_program.name}-feed-attack")
+    run = printer.run(tampered, seed=rng)
+    segments = collect_segments([run])
+    features = []
+    claims = []
+    for seg in segments:
+        try:
+            cond = encoder.encode(seg.active_axes)
+        except DataError:
+            continue
+        features.append(
+            extractor.scaler.transform(extractor.raw_features(seg.samples))
+        )
+        claims.append(cond)
+    if not features:
+        raise DataError("feed-rate attack produced no encodable segments")
+    return np.vstack(features), np.vstack(claims)

@@ -1,0 +1,140 @@
+"""Parzen Gaussian-window density estimation (Algorithm 3, Line 8).
+
+The paper evaluates generator quality and security metrics by fitting a
+Parzen window (kernel density estimate with Gaussian kernels of width
+``h``) to generator samples and scoring test points — the classic GAN
+evaluation protocol from Goodfellow et al. 2014.  The ``score`` method
+returns log-likelihood, matching the ``FtDistr.score(x)`` call in
+Algorithm 3, and the helper :func:`likelihood` applies the paper's
+``exp(LogLike) * h`` scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError, ShapeError
+from repro.utils.validation import check_array
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class ParzenWindow:
+    """Gaussian-kernel density estimate over d-dimensional points.
+
+    Parameters
+    ----------
+    h:
+        Kernel bandwidth (the paper's Parzen window width); shared
+        across dimensions.
+    """
+
+    def __init__(self, h: float):
+        if h <= 0:
+            raise ConfigurationError(f"Parzen window width h must be > 0, got {h}")
+        self.h = float(h)
+        self._data = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._data is not None
+
+    @property
+    def n_kernels(self) -> int:
+        self._require_fitted()
+        return self._data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        self._require_fitted()
+        return self._data.shape[1]
+
+    def _require_fitted(self):
+        if not self.fitted:
+            raise NotFittedError("ParzenWindow used before fit()")
+
+    def fit(self, samples) -> "ParzenWindow":
+        """Center one Gaussian kernel on every row of *samples*."""
+        samples = check_array(samples, "samples", ndim=(1, 2))
+        if samples.ndim == 1:
+            samples = samples[:, None]
+        if samples.shape[0] == 0:
+            raise DataError("cannot fit ParzenWindow on zero samples")
+        self._data = samples
+        return self
+
+    def score_samples(self, x) -> np.ndarray:
+        """Per-row log density ``log p(x)``.
+
+        Uses the log-sum-exp trick so tiny densities do not underflow to
+        ``-inf`` prematurely.
+        """
+        self._require_fitted()
+        x = check_array(x, "x", ndim=(1, 2))
+        if x.ndim == 1:
+            x = x[:, None] if self.dim == 1 else x[None, :]
+        if x.shape[1] != self.dim:
+            raise ShapeError(
+                f"x has {x.shape[1]} dims, ParzenWindow fitted on {self.dim}"
+            )
+        # Squared distances: (n_x, n_kernels).
+        diffs = x[:, None, :] - self._data[None, :, :]
+        sq = np.sum(diffs * diffs, axis=2) / (self.h * self.h)
+        log_kernel = -0.5 * sq
+        # log p = logsumexp(log_kernel) - log(n) - d*log(h) - d/2*log(2pi)
+        m = log_kernel.max(axis=1, keepdims=True)
+        lse = m.ravel() + np.log(np.exp(log_kernel - m).sum(axis=1))
+        return (
+            lse
+            - np.log(self.n_kernels)
+            - self.dim * np.log(self.h)
+            - 0.5 * self.dim * _LOG_2PI
+        )
+
+    def score(self, x) -> float:
+        """Mean log density of *x* (a single point or a batch)."""
+        return float(np.mean(self.score_samples(x)))
+
+    def density(self, x) -> np.ndarray:
+        """Per-row density ``p(x)``."""
+        return np.exp(self.score_samples(x))
+
+    def likelihood(self, x) -> np.ndarray:
+        """The paper's scaled likelihood ``exp(score(x)) * h`` (Line 10).
+
+        Multiplying the density by the window width converts it into a
+        dimensionless per-window probability mass, which keeps Table I's
+        values comparable across ``h``.
+        """
+        return self.density(x) * (self.h ** self.dim)
+
+    def sample(self, n: int, *, seed=None) -> np.ndarray:
+        """Draw from the fitted mixture (kernel choice + Gaussian jitter)."""
+        self._require_fitted()
+        if n <= 0:
+            raise ConfigurationError(f"n must be > 0, got {n}")
+        rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+        idx = rng.integers(0, self.n_kernels, size=n)
+        return self._data[idx] + rng.normal(0.0, self.h, size=(n, self.dim))
+
+    def __repr__(self):
+        fitted = f", kernels={self.n_kernels}, dim={self.dim}" if self.fitted else ""
+        return f"ParzenWindow(h={self.h}{fitted})"
+
+
+def silverman_bandwidth(samples) -> float:
+    """Silverman's rule-of-thumb bandwidth for 1-D data.
+
+    Offered as an automatic alternative to the paper's fixed ``h``
+    sweep; the ablation benchmark compares both.
+    """
+    samples = check_array(samples, "samples", ndim=1)
+    n = len(samples)
+    if n < 2:
+        raise DataError("need at least 2 samples for a bandwidth estimate")
+    std = float(np.std(samples, ddof=1))
+    iqr = float(np.subtract(*np.percentile(samples, [75, 25])))
+    spread = min(std, iqr / 1.349) if iqr > 0 else std
+    if spread == 0:
+        spread = 1e-3  # Degenerate data: fall back to a tiny width.
+    return 0.9 * spread * n ** (-0.2)

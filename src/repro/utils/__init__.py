@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG plumbing, validation helpers, ASCII
+rendering of tables and plots for benchmark output, and small I/O helpers.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import ascii_line_plot, ascii_histogram
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+    "format_table",
+    "ascii_line_plot",
+    "ascii_histogram",
+]

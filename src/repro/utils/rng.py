@@ -1,0 +1,48 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`numpy.random.Generator` (shared stream).  :func:`as_rng` normalizes
+all three into a ``Generator`` so the rest of the code never has to care.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, an
+        existing ``Generator`` (returned unchanged), or a ``SeedSequence``.
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list:
+    """Create *n* statistically independent generators from one seed.
+
+    Useful when several components (e.g. the generator and discriminator of
+    a GAN, or parallel trace synthesizers) each need their own stream but
+    the whole experiment must be reproducible from a single integer.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

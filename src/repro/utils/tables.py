@@ -1,0 +1,100 @@
+"""Plain-text table rendering for benchmark and report output.
+
+The benchmark harness reproduces the paper's tables as text; this module
+renders aligned ASCII tables similar to the paper's layout (e.g. Table I
+with a two-level header: one Parzen width ``h`` per column group, and
+Cor/Inc sub-columns).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _stringify(cell, float_fmt: str) -> str:
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    rows: Sequence[Sequence],
+    headers: Sequence[str],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4f",
+) -> str:
+    """Render *rows* as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of rows; each row is a sequence of cells.  Floats are
+        formatted with *float_fmt*, everything else with ``str``.
+    headers:
+        Column headers; length must match the row width.
+    title:
+        Optional title line printed above the table.
+    float_fmt:
+        Format spec applied to float cells (default 4 decimal places,
+        matching the paper's Table I).
+    """
+    str_rows = [[_stringify(c, float_fmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[j]) for r in str_rows)) if str_rows else len(h)
+        for j, h in enumerate(headers)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt_row(cells):
+        body = " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return f"| {body} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_grouped_table(
+    row_labels: Sequence[str],
+    group_labels: Sequence[str],
+    sub_labels: Sequence[str],
+    values,
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4f",
+) -> str:
+    """Render a table with grouped column headers, like the paper's Table I.
+
+    ``values[i][g][s]`` is the cell for row *i*, group *g*, sub-column *s*.
+    For Table I: rows are conditions, groups are Parzen widths
+    (``h=0.2 .. h=1``), and sub-columns are ``Cor`` / ``Inc``.
+    """
+    n_sub = len(sub_labels)
+    flat_headers = [""]
+    for g in group_labels:
+        for s in sub_labels:
+            flat_headers.append(f"{g} {s}")
+    rows = []
+    for label, row_groups in zip(row_labels, values):
+        flat = [label]
+        for group in row_groups:
+            if len(group) != n_sub:
+                raise ValueError(
+                    f"group for row {label!r} has {len(group)} values, expected {n_sub}"
+                )
+            flat.extend(group)
+        rows.append(flat)
+    return format_table(rows, flat_headers, title=title, float_fmt=float_fmt)

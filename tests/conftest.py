@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (the simulated case-study dataset and a trained
+CGAN) are session-scoped: the printer simulation and GAN training run
+once and are reused by every test that needs realistic data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flows.dataset import FlowPairDataset
+from repro.gan import ConditionalGAN
+from repro.manufacturing import record_case_study_dataset
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """(dataset, extractor, encoder, runs) from a small simulated recording."""
+    return record_case_study_dataset(n_moves_per_axis=15, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def case_dataset(case_study):
+    return case_study[0]
+
+
+@pytest.fixture(scope="session")
+def case_split(case_dataset):
+    return case_dataset.split(0.3, seed=99)
+
+
+@pytest.fixture(scope="session")
+def trained_cgan(case_split):
+    train, _test = case_split
+    cgan = ConditionalGAN(train.feature_dim, train.condition_dim, seed=7)
+    cgan.train(train, iterations=600, batch_size=32)
+    return cgan
+
+
+@pytest.fixture()
+def toy_dataset():
+    """Small synthetic 2-condition dataset with well-separated features.
+
+    Condition [1,0] puts mass near 0.2, condition [0,1] near 0.8 — easy
+    enough that even briefly-trained models behave predictably.
+    """
+    rng = np.random.default_rng(0)
+    n = 120
+    half = n // 2
+    f1 = np.clip(rng.normal(0.2, 0.05, size=(half, 4)), 0, 1)
+    f2 = np.clip(rng.normal(0.8, 0.05, size=(half, 4)), 0, 1)
+    c1 = np.tile([1.0, 0.0], (half, 1))
+    c2 = np.tile([0.0, 1.0], (half, 1))
+    return FlowPairDataset(
+        np.vstack([f1, f2]), np.vstack([c1, c2]), name="toy"
+    )

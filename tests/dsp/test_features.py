@@ -1,0 +1,193 @@
+"""Tests for repro.dsp.features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.dsp.features import (
+    FrequencyFeatureExtractor,
+    MinMaxScaler,
+    log_spaced_frequencies,
+    select_features,
+    top_variance_features,
+)
+
+
+class TestFrequencyGrid:
+    def test_paper_defaults(self):
+        freqs = log_spaced_frequencies()
+        assert len(freqs) == 100
+        assert freqs[0] == pytest.approx(50.0)
+        assert freqs[-1] == pytest.approx(5000.0)
+
+    def test_non_uniform(self):
+        freqs = log_spaced_frequencies(10, 50, 5000)
+        gaps = np.diff(freqs)
+        assert gaps[-1] > gaps[0] * 5  # Spacing grows with frequency.
+
+    def test_monotonic(self):
+        freqs = log_spaced_frequencies(100)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ConfigurationError):
+            log_spaced_frequencies(1)
+        with pytest.raises(ConfigurationError):
+            log_spaced_frequencies(10, 100, 50)
+
+
+class TestMinMaxScaler:
+    def test_transform_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 3, size=(50, 4))
+        scaler = MinMaxScaler().fit(x)
+        y = scaler.transform(x)
+        np.testing.assert_allclose(y.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(y.max(axis=0), 1.0, atol=1e-12)
+
+    def test_unseen_data_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        y = scaler.transform(np.array([[5.0], [-5.0]]))
+        assert y.max() <= 1.0 and y.min() >= 0.0
+
+    def test_constant_feature_maps_to_half(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        y = MinMaxScaler().fit(x).transform(x)
+        np.testing.assert_allclose(y[:, 0], 0.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_wrong_width_raises(self):
+        scaler = MinMaxScaler().fit(np.ones((3, 4)))
+        with pytest.raises(ShapeError):
+            scaler.transform(np.ones((2, 5)))
+
+    def test_1d_transform(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        y = scaler.transform(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(y, [0.5, 0.5])
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 3))
+        scaler = MinMaxScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-12
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            (6, 3),
+            elements=st.floats(min_value=-100, max_value=100),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_always_in_unit_interval(self, x):
+        y = MinMaxScaler().fit(x).transform(x)
+        assert np.all(y >= 0.0) and np.all(y <= 1.0)
+
+
+class TestExtractor:
+    def test_separates_two_tones(self):
+        sr = 12000.0
+        t = np.arange(int(sr * 0.2)) / sr
+        low = np.sin(2 * np.pi * 200 * t)
+        high = np.sin(2 * np.pi * 3000 * t)
+        ex = FrequencyFeatureExtractor(sr, n_bins=50)
+        f_low = ex.raw_features(low)
+        f_high = ex.raw_features(high)
+        assert ex.frequencies[f_low.argmax()] < 400
+        assert ex.frequencies[f_high.argmax()] > 2000
+
+    def test_fit_transform_scaled(self):
+        sr = 12000.0
+        rng = np.random.default_rng(0)
+        segs = [rng.normal(size=1200) for _ in range(5)]
+        ex = FrequencyFeatureExtractor(sr, n_bins=20)
+        feats = ex.fit_transform(segs)
+        assert feats.shape == (5, 20)
+        assert feats.min() >= 0.0 and feats.max() <= 1.0
+
+    def test_stft_method(self):
+        sr = 12000.0
+        t = np.arange(2400) / sr
+        x = np.sin(2 * np.pi * 1000 * t)
+        ex = FrequencyFeatureExtractor(sr, n_bins=30, method="stft")
+        f = ex.raw_features(x)
+        assert abs(ex.frequencies[f.argmax()] - 1000) / 1000 < 0.25
+
+    def test_rejects_fmax_above_nyquist(self):
+        with pytest.raises(ConfigurationError, match="Nyquist"):
+            FrequencyFeatureExtractor(8000.0, f_max=5000.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyFeatureExtractor(12000.0, method="mel")
+
+    def test_transform_before_fit_raises(self):
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=10)
+        with pytest.raises(NotFittedError):
+            ex.transform([np.ones(600)])
+
+    def test_include_stats_appends_three_features(self):
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=10, include_stats=True)
+        assert ex.feature_dim == 13
+        f = ex.raw_features(np.full(600, 2.0) + 0.0)
+        # Constant signal: mean 2, std 0, rms 2.
+        assert f.shape == (13,)
+        assert f[-3] == pytest.approx(2.0)
+        assert f[-2] == pytest.approx(0.0)
+        assert f[-1] == pytest.approx(2.0)
+
+    def test_stats_capture_dc_level(self):
+        # Two signals identical in spectrum-above-DC but different offsets
+        # are indistinguishable without stats and separable with them.
+        sr = 12000.0
+        t = np.arange(1200) / sr
+        tone = np.sin(2 * np.pi * 500 * t)
+        low = tone + 1.0
+        high = tone + 3.0
+        plain = FrequencyFeatureExtractor(sr, n_bins=10)
+        stats = FrequencyFeatureExtractor(sr, n_bins=10, include_stats=True)
+        f_low, f_high = plain.raw_features(low), plain.raw_features(high)
+        # Spectral magnitudes are (numerically) blind to the DC shift.
+        np.testing.assert_allclose(f_low, f_high, atol=1e-3 * f_low.max())
+        assert (
+            abs(stats.raw_features(high)[-3] - stats.raw_features(low)[-3])
+            > 1.9
+        )
+
+    def test_default_no_stats(self):
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=10)
+        assert ex.feature_dim == 10
+        assert not ex.include_stats
+
+
+class TestSelection:
+    def test_select_features(self):
+        x = np.arange(12.0).reshape(3, 4)
+        out = select_features(x, [0, 2])
+        np.testing.assert_array_equal(out, x[:, [0, 2]])
+
+    def test_select_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            select_features(np.ones((2, 3)), [3])
+
+    def test_top_variance(self):
+        rng = np.random.default_rng(0)
+        x = np.column_stack(
+            [np.ones(50), rng.normal(0, 5, 50), rng.normal(0, 1, 50)]
+        )
+        idx = top_variance_features(x, 2)
+        assert list(idx) == [1, 2]
+
+    def test_top_variance_k_bounds(self):
+        with pytest.raises(ConfigurationError):
+            top_variance_features(np.ones((4, 3)), 0)
+        with pytest.raises(ConfigurationError):
+            top_variance_features(np.ones((4, 3)), 4)

@@ -1,0 +1,64 @@
+"""Tests for repro.dsp.stft."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dsp.stft import frame_signal, power_spectrum, stft
+
+
+class TestFraming:
+    def test_exact_division(self):
+        x = np.arange(10.0)
+        frames = frame_signal(x, frame_len=4, hop=2)
+        np.testing.assert_array_equal(frames[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(frames[1], [2, 3, 4, 5])
+
+    def test_tail_zero_padded(self):
+        x = np.ones(5)
+        frames = frame_signal(x, frame_len=4, hop=4)
+        assert frames.shape == (2, 4)
+        np.testing.assert_array_equal(frames[1], [1, 0, 0, 0])
+
+    def test_short_signal_single_frame(self):
+        frames = frame_signal(np.ones(3), frame_len=8, hop=4)
+        assert frames.shape == (1, 8)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            frame_signal(np.ones(8), 0, 1)
+        with pytest.raises(ConfigurationError):
+            frame_signal(np.ones(8), 4, 0)
+
+
+class TestSTFT:
+    def test_pure_tone_peak(self):
+        sr = 8000.0
+        t = np.arange(8000) / sr
+        x = np.sin(2 * np.pi * 1000 * t)
+        freqs, times, mags = stft(x, sr, frame_len=1024)
+        peak_bin = mags.mean(axis=0).argmax()
+        assert abs(freqs[peak_bin] - 1000) < 10
+
+    def test_output_shapes_consistent(self):
+        freqs, times, mags = stft(np.random.default_rng(0).normal(size=4096), 8000.0)
+        assert mags.shape == (len(times), len(freqs))
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            stft(np.ones(128), 0.0)
+
+
+class TestPowerSpectrum:
+    def test_tone_location(self):
+        sr = 4000.0
+        t = np.arange(4000) / sr
+        x = np.sin(2 * np.pi * 440 * t)
+        freqs, power = power_spectrum(x, sr)
+        assert abs(freqs[power.argmax()] - 440) < 2
+
+    def test_parseval_scale(self):
+        # Power spectrum of white noise should be positive everywhere.
+        x = np.random.default_rng(0).normal(size=2048)
+        _freqs, power = power_spectrum(x, 1000.0)
+        assert np.all(power >= 0)

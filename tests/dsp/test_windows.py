@@ -1,0 +1,70 @@
+"""Tests for repro.dsp.windows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dsp.windows import (
+    blackman,
+    gaussian,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+)
+
+ALL = [rectangular, hann, hamming, blackman, gaussian]
+
+
+class TestBasics:
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+    def test_length(self, fn):
+        assert len(fn(64)) == 64
+
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+    def test_length_one(self, fn):
+        w = fn(1)
+        assert w.shape == (1,)
+
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+    def test_nonnegative_and_bounded(self, fn):
+        w = fn(128)
+        assert np.all(w >= -1e-12)
+        assert np.all(w <= 1.0 + 1e-12)
+
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+    def test_rejects_zero_length(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(0)
+
+
+class TestShapes:
+    def test_hann_endpoints_zero(self):
+        w = hann(64)
+        assert w[0] == pytest.approx(0.0)
+
+    def test_hann_periodic_matches_numpy(self):
+        # Periodic Hann = numpy.hanning(n+1)[:-1].
+        np.testing.assert_allclose(hann(32), np.hanning(33)[:-1], atol=1e-12)
+
+    def test_hamming_offset(self):
+        w = hamming(64)
+        assert w[0] == pytest.approx(0.08)
+
+    def test_gaussian_peak_center(self):
+        w = gaussian(65)
+        assert np.argmax(w) == 32
+        assert w[32] == pytest.approx(1.0)
+
+    def test_gaussian_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            gaussian(16, sigma=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        np.testing.assert_array_equal(get_window("hann", 16), hann(16))
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown window"):
+            get_window("kaiser", 16)

@@ -1,0 +1,65 @@
+"""Tests for repro.flows.base."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flows.base import EnergyForm, FlowKind, FlowPair, FlowSpec
+
+
+def signal(name="F1", src="C1", dst="C2"):
+    return FlowSpec(name, FlowKind.SIGNAL, src, dst)
+
+
+def energy(name="F2", src="P1", dst="P2", form=EnergyForm.ACOUSTIC):
+    return FlowSpec(name, FlowKind.ENERGY, src, dst, energy_form=form)
+
+
+class TestFlowSpec:
+    def test_signal_properties(self):
+        f = signal()
+        assert f.is_signal and not f.is_energy
+        assert f.energy_form is None
+
+    def test_energy_gets_default_form(self):
+        f = FlowSpec("F9", FlowKind.ENERGY, "P1", "P2")
+        assert f.energy_form is EnergyForm.MECHANICAL
+
+    def test_signal_rejects_energy_form(self):
+        with pytest.raises(ConfigurationError):
+            FlowSpec("F1", FlowKind.SIGNAL, "a", "b", energy_form=EnergyForm.THERMAL)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            FlowSpec("F1", FlowKind.SIGNAL, "C1", "C1")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            FlowSpec("", FlowKind.SIGNAL, "a", "b")
+
+    def test_str_contains_endpoints(self):
+        text = str(energy())
+        assert "P1" in text and "P2" in text
+
+    def test_frozen(self):
+        f = signal()
+        with pytest.raises(AttributeError):
+            f.name = "other"
+
+
+class TestFlowPair:
+    def test_cross_domain(self):
+        pair = FlowPair(first=energy(), second=signal())
+        assert pair.is_cross_domain
+
+    def test_same_domain_not_cross(self):
+        pair = FlowPair(first=signal("F1"), second=signal("F3", "C3", "C4"))
+        assert not pair.is_cross_domain
+
+    def test_names(self):
+        pair = FlowPair(first=signal("Fa"), second=energy("Fb"))
+        assert pair.names == ("Fa", "Fb")
+
+    def test_rejects_identical_flows(self):
+        f = signal()
+        with pytest.raises(ConfigurationError):
+            FlowPair(first=f, second=f)

@@ -1,0 +1,154 @@
+"""Tests for repro.flows.dataset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DataError, ShapeError
+from repro.flows.dataset import FlowPairDataset
+
+
+def make(n=30, d=5, c=2, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((n, d))
+    conds = np.zeros((n, c))
+    conds[np.arange(n), rng.integers(0, c, n)] = 1.0
+    return FlowPairDataset(features, conds)
+
+
+class TestConstruction:
+    def test_dims(self):
+        ds = make(20, 7, 3)
+        assert len(ds) == 20
+        assert ds.feature_dim == 7
+        assert ds.condition_dim == 3
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ShapeError, match="misaligned"):
+            FlowPairDataset(np.ones((5, 2)), np.ones((4, 2)))
+
+
+class TestConditions:
+    def test_unique_conditions(self):
+        ds = make(50, 4, 3, seed=1)
+        uniq = ds.unique_conditions()
+        assert uniq.shape[1] == 3
+        assert 1 <= uniq.shape[0] <= 3
+
+    def test_mask_and_subset(self):
+        ds = make(40, 3, 2, seed=2)
+        cond = ds.unique_conditions()[0]
+        sub = ds.subset_for_condition(cond)
+        assert np.all(np.isclose(sub.conditions, cond[None, :]))
+        assert len(sub) == ds.mask_for_condition(cond).sum()
+
+    def test_subset_missing_condition_raises(self):
+        ds = make(10, 3, 2)
+        with pytest.raises(DataError):
+            ds.subset_for_condition(np.array([0.5, 0.5]))
+
+    def test_mask_wrong_width_raises(self):
+        with pytest.raises(ShapeError):
+            make().mask_for_condition([1.0])
+
+    def test_condition_counts_total(self):
+        ds = make(25, 3, 2, seed=3)
+        total = sum(cnt for _c, cnt in ds.condition_counts())
+        assert total == 25
+
+
+class TestSampling:
+    def test_batch_shapes(self):
+        ds = make()
+        x, c = ds.sample_batch(8, seed=0)
+        assert x.shape == (8, ds.feature_dim)
+        assert c.shape == (8, ds.condition_dim)
+
+    def test_batch_alignment_preserved(self):
+        # Features encode their condition: feature[0] = argmax(cond).
+        n = 50
+        conds = np.zeros((n, 2))
+        conds[: n // 2, 0] = 1.0
+        conds[n // 2 :, 1] = 1.0
+        feats = conds.argmax(axis=1).astype(float)[:, None]
+        ds = FlowPairDataset(feats, conds)
+        x, c = ds.sample_batch(20, seed=1)
+        np.testing.assert_array_equal(x.ravel(), c.argmax(axis=1))
+
+    def test_batch_deterministic(self):
+        ds = make()
+        x1, _ = ds.sample_batch(5, seed=9)
+        x2, _ = ds.sample_batch(5, seed=9)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(DataError):
+            make().sample_batch(0)
+
+
+class TestSplit:
+    def test_sizes(self):
+        ds = make(40, 3, 2, seed=5)
+        train, test = ds.split(0.25, seed=0)
+        assert len(train) + len(test) == 40
+        assert len(test) >= 2  # At least one per condition.
+
+    def test_stratified_covers_all_conditions(self):
+        ds = make(60, 3, 3, seed=6)
+        train, test = ds.split(0.3, seed=1)
+        assert len(test.unique_conditions()) == len(ds.unique_conditions())
+        assert len(train.unique_conditions()) == len(ds.unique_conditions())
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(DataError):
+            make().split(0.0)
+
+    def test_tiny_condition_raises(self):
+        feats = np.random.default_rng(0).random((3, 2))
+        conds = np.array([[1.0, 0.0]] * 3)
+        ds = FlowPairDataset(feats, conds)
+        # One condition with 3 rows and test_fraction 0.5 -> test=2, train=1: fine.
+        # With only 1 row it must fail:
+        ds1 = FlowPairDataset(feats[:1], conds[:1])
+        with pytest.raises(DataError):
+            ds1.split(0.5)
+
+    @given(st.integers(min_value=8, max_value=64), st.floats(min_value=0.1, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_split_partition_property(self, n, frac):
+        ds = make(n, 3, 2, seed=n)
+        train, test = ds.split(frac, seed=0)
+        assert len(train) + len(test) == n
+        # No sample duplicated across the split: counts per unique row match.
+        merged = np.vstack([train.features, test.features])
+        assert merged.shape == ds.features.shape
+
+
+class TestTakeMerge:
+    def test_take_size(self):
+        sub = make(30).take(10, seed=0)
+        assert len(sub) == 10
+
+    def test_take_without_replacement(self):
+        ds = make(15, 2, 2, seed=8)
+        sub = ds.take(15, seed=0)
+        # Taking everything returns a permutation of the rows.
+        assert sorted(map(tuple, sub.features)) == sorted(map(tuple, ds.features))
+
+    def test_take_bounds(self):
+        with pytest.raises(DataError):
+            make(10).take(11)
+
+    def test_merge(self):
+        a, b = make(10, 3, 2, seed=1), make(6, 3, 2, seed=2)
+        merged = a.merge(b)
+        assert len(merged) == 16
+
+    def test_merge_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            make(5, 3, 2).merge(make(5, 4, 2))
+
+    def test_shuffled_preserves_rows(self):
+        ds = make(12, 2, 2, seed=3)
+        sh = ds.shuffled(seed=1)
+        assert sorted(map(tuple, sh.features)) == sorted(map(tuple, ds.features))

@@ -1,0 +1,104 @@
+"""Tests for repro.flows.encoding (incl. hypothesis round-trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, DataError
+from repro.flows.encoding import (
+    CombinationEncoder,
+    SingleMotorEncoder,
+    condition_label,
+)
+
+
+class TestSingleMotor:
+    def test_paper_encodings(self):
+        enc = SingleMotorEncoder()
+        np.testing.assert_array_equal(enc.encode({"X"}), [1, 0, 0])
+        np.testing.assert_array_equal(enc.encode({"Y"}), [0, 1, 0])
+        np.testing.assert_array_equal(enc.encode({"Z"}), [0, 0, 1])
+
+    def test_decode_roundtrip(self):
+        enc = SingleMotorEncoder()
+        for axis in "XYZ":
+            assert enc.decode(enc.encode({axis})) == frozenset({axis})
+
+    def test_rejects_multi_axis(self):
+        with pytest.raises(DataError):
+            SingleMotorEncoder().encode({"X", "Y"})
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            SingleMotorEncoder().encode(set())
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(DataError):
+            SingleMotorEncoder().encode({"Q"})
+
+    def test_decode_rejects_invalid_vector(self):
+        enc = SingleMotorEncoder()
+        with pytest.raises(DataError):
+            enc.decode([1.0, 1.0, 0.0])
+        with pytest.raises(DataError):
+            enc.decode([0.5, 0.5, 0.0])
+
+    def test_condition_names(self):
+        enc = SingleMotorEncoder()
+        assert enc.condition_name({"X"}) == "Cond1"
+        assert enc.condition_name({"Z"}) == "Cond3"
+
+    def test_labels_order(self):
+        enc = SingleMotorEncoder()
+        assert enc.labels() == [frozenset("X"), frozenset("Y"), frozenset("Z")]
+
+    def test_encode_many(self):
+        enc = SingleMotorEncoder()
+        out = enc.encode_many([{"X"}, {"Z"}])
+        assert out.shape == (2, 3)
+
+    def test_rejects_duplicate_axes(self):
+        with pytest.raises(ConfigurationError):
+            SingleMotorEncoder(axes=("X", "X"))
+
+
+class TestCombination:
+    def test_size_is_2_pow_n(self):
+        assert CombinationEncoder().size == 8
+        assert CombinationEncoder(axes=("A", "B")).size == 4
+
+    def test_idle_slot(self):
+        enc = CombinationEncoder()
+        vec = enc.encode(set())
+        assert vec[0] == 1.0 and vec.sum() == 1.0
+
+    def test_multi_axis_encodable(self):
+        enc = CombinationEncoder()
+        vec = enc.encode({"X", "Y"})
+        assert vec.sum() == 1.0
+        assert enc.decode(vec) == frozenset({"X", "Y"})
+
+    def test_rejects_unknown(self):
+        with pytest.raises(DataError):
+            CombinationEncoder().encode({"W"})
+
+    @given(
+        st.sets(st.sampled_from(["X", "Y", "Z"]), max_size=3)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, active):
+        enc = CombinationEncoder()
+        assert enc.decode(enc.encode(active)) == frozenset(active)
+
+    def test_all_labels_distinct_encodings(self):
+        enc = CombinationEncoder()
+        encoded = [tuple(enc.encode(lbl)) for lbl in enc.labels()]
+        assert len(set(encoded)) == enc.size
+
+
+class TestConditionLabel:
+    def test_idle(self):
+        assert condition_label(set()) == "idle"
+
+    def test_sorted_join(self):
+        assert condition_label({"Y", "X"}) == "X+Y"

@@ -1,0 +1,32 @@
+"""Tests for repro.flows.io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.flows.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_preserves_everything(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "ds.npz")
+        back = load_dataset(path)
+        np.testing.assert_array_equal(back.features, toy_dataset.features)
+        np.testing.assert_array_equal(back.conditions, toy_dataset.conditions)
+        assert back.name == toy_dataset.name
+
+    def test_creates_dirs(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "x" / "y" / "ds.npz")
+        assert path.exists()
+
+
+class TestFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="no such"):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(SerializationError):
+            load_dataset(path)

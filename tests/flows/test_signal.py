@@ -1,0 +1,48 @@
+"""Tests for repro.flows.signal."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.flows.signal import SignalFlowData
+
+
+class TestSignalFlowData:
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            SignalFlowData([])
+
+    def test_alphabet_and_counts(self):
+        data = SignalFlowData(["a", "b", "a", "c", "a"])
+        assert data.n_symbols == 3
+        assert data.event_probability("a") == pytest.approx(0.6)
+        assert data.event_probability("z") == 0.0
+
+    def test_pmf_sums_to_one(self):
+        data = SignalFlowData(list("aabbbcc"))
+        assert sum(data.pmf().values()) == pytest.approx(1.0)
+
+    def test_entropy_uniform(self):
+        data = SignalFlowData(["x", "y", "x", "y"])
+        assert data.entropy() == pytest.approx(1.0)
+
+    def test_entropy_degenerate_zero(self):
+        assert SignalFlowData(["k"] * 10).entropy() == pytest.approx(0.0)
+
+    def test_sample_distribution(self):
+        data = SignalFlowData(["a"] * 90 + ["b"] * 10)
+        draws = data.sample(2000, seed=0)
+        frac_a = draws.count("a") / len(draws)
+        assert 0.85 < frac_a < 0.95
+
+    def test_sample_deterministic(self):
+        data = SignalFlowData(list("abc") * 5)
+        assert data.sample(10, seed=3) == data.sample(10, seed=3)
+
+    def test_indices(self):
+        data = SignalFlowData(["a", "b", "a"])
+        np.testing.assert_array_equal(data.indices("a"), [0, 2])
+
+    def test_hashable_tuple_symbols(self):
+        data = SignalFlowData([(1, 0, 0), (0, 1, 0), (1, 0, 0)])
+        assert data.event_probability((1, 0, 0)) == pytest.approx(2 / 3)

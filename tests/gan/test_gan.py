@@ -1,0 +1,31 @@
+"""Tests for repro.gan.gan (unconditional baseline)."""
+
+import numpy as np
+
+from repro.gan.gan import GAN
+
+
+class TestUnconditionalGAN:
+    def test_train_and_generate(self):
+        rng = np.random.default_rng(0)
+        features = np.clip(rng.normal(0.5, 0.1, size=(200, 3)), 0, 1)
+        gan = GAN(3, noise_dim=4, seed=0)
+        gan.train(features, iterations=300)
+        samples = gan.generate(100, seed=1)
+        assert samples.shape == (100, 3)
+        # Learned marginal should land near the data mean.
+        assert abs(samples.mean() - 0.5) < 0.2
+
+    def test_accepts_flow_pair_dataset(self, toy_dataset):
+        gan = GAN(toy_dataset.feature_dim, noise_dim=4, seed=0)
+        gan.train(toy_dataset, iterations=50)
+        assert gan.is_trained
+
+    def test_history_exposed(self, toy_dataset):
+        gan = GAN(toy_dataset.feature_dim, noise_dim=4, seed=0)
+        hist = gan.train(toy_dataset, iterations=20)
+        assert len(hist) == 20
+        assert gan.history is hist
+
+    def test_repr(self):
+        assert "GAN" in repr(GAN(3, noise_dim=2, seed=0))

@@ -1,0 +1,76 @@
+"""Tests for repro.gan.history."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.gan.history import TrainingHistory
+
+
+def filled(n=50):
+    hist = TrainingHistory()
+    for i in range(n):
+        hist.record(i + 1, 1.0 + i * 0.01, 2.0 - i * 0.01, -0.5, 100)
+    return hist
+
+
+class TestRecord:
+    def test_lengths(self):
+        hist = filled(10)
+        assert len(hist) == 10
+        assert hist.iterations == list(range(1, 11))
+
+    def test_final(self):
+        final = filled(5).final()
+        assert final["iteration"] == 5
+        assert final["n_train"] == 100
+
+    def test_final_empty_raises(self):
+        with pytest.raises(DataError):
+            TrainingHistory().final()
+
+
+class TestSmoothing:
+    def test_window_shrinks_series(self):
+        out = filled(50).smoothed(window=10)
+        assert len(out["d_loss"]) == 41
+        assert len(out["iterations"]) == 41
+
+    def test_window_larger_than_series_clamped(self):
+        out = filled(5).smoothed(window=100)
+        assert len(out["d_loss"]) == 1
+
+    def test_preserves_trend(self):
+        out = filled(50).smoothed(window=5)
+        assert out["d_loss"][-1] > out["d_loss"][0]
+        assert out["g_loss"][-1] < out["g_loss"][0]
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            TrainingHistory().smoothed()
+
+
+class TestExtend:
+    def test_concatenates(self):
+        a, b = filled(5), filled(3)
+        a.extend(b)
+        assert len(a) == 8
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        hist = filled(12)
+        path = hist.to_csv(tmp_path / "hist.csv")
+        back = TrainingHistory.from_csv(path)
+        assert back.iterations == hist.iterations
+        np.testing.assert_allclose(back.d_loss, hist.d_loss)
+        np.testing.assert_allclose(back.g_loss, hist.g_loss)
+        assert back.n_train == hist.n_train
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            TrainingHistory.from_csv(tmp_path / "absent.csv")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = filled(3).to_csv(tmp_path / "deep" / "hist.csv")
+        assert path.exists()

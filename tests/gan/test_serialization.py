@@ -1,0 +1,68 @@
+"""Tests for repro.gan.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.noise import UniformNoise
+from repro.gan.serialization import load_cgan, save_cgan
+
+
+def trained(toy_dataset, **kwargs):
+    cgan = ConditionalGAN(4, 2, noise_dim=4, seed=0, **kwargs)
+    cgan.train(toy_dataset, iterations=40)
+    return cgan
+
+
+class TestRoundTrip:
+    def test_generator_outputs_preserved(self, toy_dataset, tmp_path):
+        cgan = trained(toy_dataset)
+        save_cgan(cgan, tmp_path / "model")
+        loaded = load_cgan(tmp_path / "model")
+        cond = np.array([1.0, 0.0])
+        a = cgan.generate_for_condition(cond, 8, seed=5)
+        b = loaded.generate_for_condition(cond, 8, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_discriminator_preserved(self, toy_dataset, tmp_path):
+        cgan = trained(toy_dataset)
+        save_cgan(cgan, tmp_path / "model")
+        loaded = load_cgan(tmp_path / "model")
+        scores_a = cgan.discriminator_score(
+            toy_dataset.features[:5], toy_dataset.conditions[:5]
+        )
+        scores_b = loaded.discriminator_score(
+            toy_dataset.features[:5], toy_dataset.conditions[:5]
+        )
+        np.testing.assert_allclose(scores_a, scores_b)
+
+    def test_metadata_restored(self, toy_dataset, tmp_path):
+        cgan = trained(toy_dataset, generator_loss="minimax")
+        save_cgan(cgan, tmp_path / "model")
+        loaded = load_cgan(tmp_path / "model")
+        assert loaded.generator_loss_name == "minimax"
+        assert loaded.trained_iterations == 40
+        assert loaded.is_trained
+
+    def test_uniform_noise_preserved(self, toy_dataset, tmp_path):
+        cgan = ConditionalGAN(4, 2, noise=UniformNoise(6, -0.5, 0.5), seed=0)
+        cgan.train(toy_dataset, iterations=10)
+        save_cgan(cgan, tmp_path / "model")
+        loaded = load_cgan(tmp_path / "model")
+        assert isinstance(loaded.noise, UniformNoise)
+        assert loaded.noise.dim == 6
+        assert loaded.noise.low == -0.5
+
+
+class TestFailures:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SerializationError, match="no CGAN metadata"):
+            load_cgan(tmp_path / "absent")
+
+    def test_corrupt_metadata(self, toy_dataset, tmp_path):
+        cgan = trained(toy_dataset)
+        save_cgan(cgan, tmp_path / "model")
+        (tmp_path / "model" / "cgan.json").write_text("{broken")
+        with pytest.raises(SerializationError, match="corrupt"):
+            load_cgan(tmp_path / "model")

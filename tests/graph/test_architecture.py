@@ -1,0 +1,83 @@
+"""Tests for repro.graph.architecture."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.flows.base import EnergyForm
+from repro.graph.architecture import CPPSArchitecture
+from repro.graph.components import SubSystem, cyber, physical
+
+
+def minimal_arch():
+    arch = CPPSArchitecture("test")
+    arch.add_subsystem(SubSystem("s1", [cyber("C1"), physical("P1")]))
+    arch.add_signal_flow("F1", "C1", "P1")
+    return arch
+
+
+class TestConstruction:
+    def test_duplicate_subsystem(self):
+        arch = minimal_arch()
+        with pytest.raises(ArchitectureError, match="duplicate sub-system"):
+            arch.add_subsystem(SubSystem("s1"))
+
+    def test_component_name_clash_across_subsystems(self):
+        arch = minimal_arch()
+        with pytest.raises(ArchitectureError, match="already exist"):
+            arch.add_subsystem(SubSystem("s2", [cyber("C1")]))
+
+    def test_flow_unknown_endpoint(self):
+        arch = minimal_arch()
+        with pytest.raises(ArchitectureError, match="unknown component"):
+            arch.add_signal_flow("F2", "C1", "MISSING")
+
+    def test_duplicate_flow_name(self):
+        arch = minimal_arch()
+        with pytest.raises(ArchitectureError, match="duplicate flow"):
+            arch.add_signal_flow("F1", "P1", "C1")
+
+
+class TestQueries:
+    def test_component_lookup(self):
+        arch = minimal_arch()
+        assert arch.component("C1").is_cyber
+        with pytest.raises(ArchitectureError):
+            arch.component("nope")
+
+    def test_subsystem_of(self):
+        arch = minimal_arch()
+        assert arch.subsystem_of("P1").name == "s1"
+
+    def test_flow_kinds(self):
+        arch = minimal_arch()
+        arch.add_energy_flow("F2", "P1", "C1", form=EnergyForm.THERMAL)
+        assert [f.name for f in arch.signal_flows()] == ["F1"]
+        assert [f.name for f in arch.energy_flows()] == ["F2"]
+
+    def test_cross_subsystem_flows(self):
+        arch = minimal_arch()
+        arch.add_subsystem(SubSystem("s2", [physical("P9", external=True)]))
+        arch.add_energy_flow("F3", "P1", "P9", intentional=False)
+        cross = arch.cross_subsystem_flows()
+        assert [f.name for f in cross] == ["F3"]
+
+
+class TestValidate:
+    def test_valid(self):
+        minimal_arch().validate()
+
+    def test_no_subsystems(self):
+        with pytest.raises(ArchitectureError, match="no sub-systems"):
+            CPPSArchitecture("x").validate()
+
+    def test_no_flows(self):
+        arch = CPPSArchitecture("x")
+        arch.add_subsystem(SubSystem("s", [cyber("C1"), cyber("C2")]))
+        with pytest.raises(ArchitectureError, match="no flows"):
+            arch.validate()
+
+    def test_isolated_component(self):
+        arch = minimal_arch()
+        arch.add_subsystem(SubSystem("s2", [physical("P7")]))
+        with pytest.raises(ArchitectureError, match="disconnected"):
+            arch.validate()

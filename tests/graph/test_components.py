@@ -1,0 +1,51 @@
+"""Tests for repro.graph.components."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.graph.components import Component, Domain, SubSystem, cyber, physical
+
+
+class TestComponent:
+    def test_constructors(self):
+        c = cyber("C1", "controller")
+        p = physical("P1", "motor")
+        assert c.is_cyber and not c.is_physical
+        assert p.is_physical and not p.is_cyber
+
+    def test_external_flag(self):
+        env = physical("P9", "environment", external=True)
+        assert env.external
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ArchitectureError):
+            Component("", Domain.CYBER)
+
+    def test_str(self):
+        assert "C1" in str(cyber("C1", "ctrl"))
+
+
+class TestSubSystem:
+    def test_add_and_iterate(self):
+        sub = SubSystem("s")
+        sub.add(cyber("C1")).add(physical("P1"))
+        assert len(sub) == 2
+        assert {c.name for c in sub} == {"C1", "P1"}
+
+    def test_domain_partitions(self):
+        sub = SubSystem("s", [cyber("C1"), physical("P1"), physical("P2")])
+        assert len(sub.cyber_components) == 1
+        assert len(sub.physical_components) == 2
+
+    def test_duplicate_in_constructor(self):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            SubSystem("s", [cyber("C1"), cyber("C1")])
+
+    def test_duplicate_in_add(self):
+        sub = SubSystem("s", [cyber("C1")])
+        with pytest.raises(ArchitectureError):
+            sub.add(physical("C1"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ArchitectureError):
+            SubSystem("")

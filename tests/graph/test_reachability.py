@@ -1,0 +1,84 @@
+"""Tests for repro.graph.reachability."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.graph.reachability import (
+    assert_dag,
+    dfs_reachable,
+    is_reachable,
+    remove_feedback_edges,
+)
+
+
+def chain(*nodes):
+    g = nx.DiGraph()
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+class TestReachability:
+    def test_chain(self):
+        g = chain("a", "b", "c")
+        assert dfs_reachable(g, "a") == {"a", "b", "c"}
+        assert dfs_reachable(g, "c") == {"c"}
+
+    def test_is_reachable(self):
+        g = chain("a", "b", "c")
+        assert is_reachable(g, "a", "c")
+        assert not is_reachable(g, "c", "a")
+
+    def test_unknown_node(self):
+        g = chain("a", "b")
+        with pytest.raises(ArchitectureError):
+            dfs_reachable(g, "zz")
+        with pytest.raises(ArchitectureError):
+            is_reachable(g, "a", "zz")
+
+    def test_branching(self):
+        g = nx.DiGraph([("a", "b"), ("a", "c"), ("c", "d")])
+        assert dfs_reachable(g, "a") == {"a", "b", "c", "d"}
+
+
+class TestFeedbackRemoval:
+    def test_acyclic_unchanged(self):
+        g = chain("a", "b", "c")
+        dag, removed = remove_feedback_edges(g)
+        assert removed == []
+        assert set(dag.edges) == set(g.edges)
+
+    def test_simple_cycle_broken(self):
+        g = nx.DiGraph([("a", "b"), ("b", "a")])
+        dag, removed = remove_feedback_edges(g)
+        assert len(removed) == 1
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_input_not_modified(self):
+        g = nx.DiGraph([("a", "b"), ("b", "a")])
+        remove_feedback_edges(g)
+        assert g.number_of_edges() == 2
+
+    def test_multiple_cycles(self):
+        g = nx.DiGraph(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "b")]
+        )
+        dag, removed = remove_feedback_edges(g)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert len(removed) >= 2
+
+    def test_deterministic(self):
+        g = nx.DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        _, removed1 = remove_feedback_edges(g)
+        _, removed2 = remove_feedback_edges(g)
+        assert removed1 == removed2
+
+
+class TestAssertDag:
+    def test_passes_on_dag(self):
+        assert_dag(chain("x", "y"))
+
+    def test_raises_on_cycle(self):
+        with pytest.raises(ArchitectureError, match="cycle"):
+            assert_dag(nx.DiGraph([("a", "b"), ("b", "a")]))

@@ -1,0 +1,118 @@
+"""Tests for repro.manufacturing.acoustics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dsp.stft import power_spectrum
+from repro.manufacturing.acoustics import (
+    AcousticSynthesizer,
+    AnechoicChamber,
+    ContactMicrophone,
+)
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.kinematics import MotionPlanner
+from repro.manufacturing.steppers import default_motors
+
+
+def segments_for(text):
+    return MotionPlanner().plan(GCodeProgram.from_text(text))
+
+
+def make_synth(**kwargs):
+    return AcousticSynthesizer(default_motors(), **kwargs)
+
+
+class TestModels:
+    def test_chamber_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            AnechoicChamber(ambient_noise_level=-1.0)
+
+    def test_microphone_rejects_bad_band(self):
+        with pytest.raises(ConfigurationError):
+            ContactMicrophone(low_cut_hz=5000, high_cut_hz=100)
+
+    def test_microphone_bandpass_attenuates_extremes(self):
+        mic = ContactMicrophone(noise_level=0.0, low_cut_hz=100, high_cut_hz=2000)
+        sr = 12000.0
+        t = np.arange(int(sr)) / sr
+        rng = np.random.default_rng(0)
+        low_tone = np.sin(2 * np.pi * 10 * t)
+        mid_tone = np.sin(2 * np.pi * 500 * t)
+        high_tone = np.sin(2 * np.pi * 5500 * t)
+        low_out = mic.apply(low_tone, sr, rng)
+        mid_out = mic.apply(mid_tone, sr, rng)
+        high_out = mic.apply(high_tone, sr, rng)
+        assert np.std(low_out) < 0.2 * np.std(mid_out)
+        assert np.std(high_out) < 0.9 * np.std(mid_out)
+
+    def test_synth_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            make_synth(sample_rate=0)
+
+
+class TestSegmentSynthesis:
+    def test_length_matches_duration(self):
+        synth = make_synth(sample_rate=12000.0)
+        (seg,) = segments_for("G90\nG1 F600 X10")  # 1 s
+        wave = synth.synthesize_segment(seg, seed=0)
+        assert len(wave) == 12000
+
+    def test_tone_at_step_frequency(self):
+        synth = make_synth(sample_rate=12000.0)
+        (seg,) = segments_for("G90\nG1 F600 X10")  # X at 800 Hz
+        wave = synth.synthesize_segment(seg, seed=0)
+        freqs, power = power_spectrum(wave, 12000.0)
+        band = power[(freqs > 700) & (freqs < 900)].sum()
+        total = power.sum()
+        assert band / total > 0.2  # Fundamental carries substantial energy.
+
+    def test_dwell_is_quiet(self):
+        synth = make_synth(sample_rate=12000.0)
+        (dwell,) = segments_for("G4 P200")
+        (move,) = segments_for("G90\nG1 F600 X10")
+        quiet = synth.synthesize_segment(dwell, seed=0)
+        loud = synth.synthesize_segment(move, seed=0)
+        assert np.std(quiet) < 0.05 * np.std(loud)
+
+    def test_deterministic_with_seed(self):
+        synth = make_synth()
+        (seg,) = segments_for("G90\nG1 F600 X10")
+        a = synth.synthesize_segment(seg, seed=42)
+        b = synth.synthesize_segment(seg, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_motors_different_spectra(self):
+        synth = make_synth(sample_rate=12000.0)
+        (seg_x,) = segments_for("G90\nG1 F600 X10")
+        (seg_z,) = segments_for("G90\nG1 F72 Z2")
+        wx = synth.synthesize_segment(seg_x, seed=0)
+        wz = synth.synthesize_segment(seg_z, seed=0)
+        n = min(len(wx), len(wz))
+        fx, px = power_spectrum(wx[:n], 12000.0)
+        _, pz = power_spectrum(wz[:n], 12000.0)
+        # Correlation of normalized spectra should be far from 1.
+        corr = np.corrcoef(px / px.sum(), pz / pz.sum())[0, 1]
+        assert corr < 0.8
+
+
+class TestRender:
+    def test_boundaries_align(self):
+        synth = make_synth(sample_rate=12000.0)
+        segs = segments_for("G90\nG1 F600 X10\nG1 Y5")
+        audio, bounds = synth.render(segs, seed=0)
+        assert len(bounds) == len(segs) + 1
+        assert bounds[0] == 0.0
+        assert bounds[-1] == pytest.approx(len(audio) / 12000.0)
+
+    def test_empty_plan(self):
+        synth = make_synth()
+        audio, bounds = synth.render([], seed=0)
+        assert len(audio) == 0
+        assert bounds == [0.0]
+
+    def test_ambient_noise_present(self):
+        synth = make_synth(chamber=AnechoicChamber(ambient_noise_level=0.01))
+        segs = segments_for("G4 P100")
+        audio, _ = synth.render(segs, seed=0)
+        assert np.std(audio) > 0.0

@@ -1,0 +1,58 @@
+"""Tests for repro.manufacturing.architecture (Figure 5/6 description)."""
+
+from repro.flows.base import EnergyForm
+from repro.manufacturing.architecture import (
+    GCODE_FLOW,
+    MONITORED_EMISSIONS,
+    monitored_flow_names,
+    printer_architecture,
+)
+
+
+class TestPrinterArchitecture:
+    def test_validates(self):
+        printer_architecture().validate()
+
+    def test_paper_node_roster(self):
+        arch = printer_architecture()
+        names = arch.component_names()
+        assert {f"C{i}" for i in range(1, 5)} <= names
+        assert {f"P{i}" for i in range(1, 10)} <= names
+        assert len(names) == 13
+
+    def test_external_nodes(self):
+        arch = printer_architecture()
+        assert arch.component("C4").external
+        assert arch.component("P9").external
+        assert not arch.component("C1").external
+
+    def test_gcode_flow_is_signal_from_c4(self):
+        arch = printer_architecture()
+        flow = arch.flow(GCODE_FLOW)
+        assert flow.is_signal
+        assert flow.source == "C4"
+        assert flow.target == "C1"
+
+    def test_monitored_emissions_match_paper(self):
+        # The paper monitors energy flows from P2, P3, P4, P5, P8 to P9.
+        assert set(MONITORED_EMISSIONS) == {"P2", "P3", "P4", "P5", "P8"}
+        arch = printer_architecture()
+        for src, flow_name in MONITORED_EMISSIONS.items():
+            flow = arch.flow(flow_name)
+            assert flow.source == src
+            assert flow.target == "P9"
+            assert flow.is_energy
+            assert not flow.intentional
+            assert flow.energy_form is EnergyForm.ACOUSTIC
+
+    def test_monitored_flow_names(self):
+        names = monitored_flow_names()
+        assert names[0] == GCODE_FLOW
+        assert len(names) == 6
+
+    def test_environment_receives_thermal_too(self):
+        arch = printer_architecture()
+        into_env = [f for f in arch.flows.values() if f.target == "P9"]
+        forms = {f.energy_form for f in into_env}
+        assert EnergyForm.THERMAL in forms
+        assert EnergyForm.ACOUSTIC in forms

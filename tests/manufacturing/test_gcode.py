@@ -1,0 +1,178 @@
+"""Tests for repro.manufacturing.gcode (incl. hypothesis round-trip)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GCodeError
+from repro.manufacturing.gcode import (
+    GCodeCommand,
+    GCodeProgram,
+    parse_line,
+)
+
+
+class TestParseLine:
+    def test_basic_move(self):
+        cmd = parse_line("G1 F1200 X5 Y5 Z5")
+        assert cmd.code == "G1"
+        assert cmd.params == {"F": 1200.0, "X": 5.0, "Y": 5.0, "Z": 5.0}
+
+    def test_blank_and_comment_lines(self):
+        assert parse_line("") is None
+        assert parse_line("   ") is None
+        assert parse_line("; pure comment") is None
+        assert parse_line("(parenthesized)") is None
+
+    def test_semicolon_comment_preserved(self):
+        cmd = parse_line("G28 ; home all")
+        assert cmd.code == "G28"
+        assert cmd.comment == "home all"
+
+    def test_paren_comment_stripped(self):
+        cmd = parse_line("G1 (move fast) X10")
+        assert cmd.params == {"X": 10.0}
+
+    def test_line_number(self):
+        cmd = parse_line("N42 G1 X1")
+        assert cmd.line_number == 42
+
+    def test_checksum_stripped(self):
+        cmd = parse_line("G1 X1*71")
+        assert cmd.params == {"X": 1.0}
+
+    def test_m_code(self):
+        cmd = parse_line("M104 S200")
+        assert cmd.code == "M104"
+        assert cmd.params["S"] == 200.0
+
+    def test_lowercase_accepted(self):
+        cmd = parse_line("g1 x5.5 f600")
+        assert cmd.code == "G1"
+        assert cmd.params == {"X": 5.5, "F": 600.0}
+
+    def test_negative_and_decimal_values(self):
+        cmd = parse_line("G1 X-12.75 Y+3.5")
+        assert cmd.params["X"] == -12.75
+        assert cmd.params["Y"] == 3.5
+
+    def test_params_without_command_raise(self):
+        with pytest.raises(GCodeError, match="no G/M command"):
+            parse_line("X10 Y10")
+
+    def test_duplicate_param_raises(self):
+        with pytest.raises(GCodeError, match="duplicate"):
+            parse_line("G1 X1 X2")
+
+    def test_two_commands_raise(self):
+        with pytest.raises(GCodeError, match="multiple command"):
+            parse_line("G1 G28 X1")
+
+    def test_junk_raises(self):
+        with pytest.raises(GCodeError):
+            parse_line("G1 X1 !!!")
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(GCodeError):
+            parse_line("G1 Q5")
+
+
+class TestGCodeCommand:
+    def test_invalid_code_rejected(self):
+        with pytest.raises(GCodeError):
+            GCodeCommand("X1")
+
+    def test_is_motion(self):
+        assert GCodeCommand("G0", {"X": 1.0}).is_motion
+        assert GCodeCommand("G1", {"X": 1.0}).is_motion
+        assert not GCodeCommand("G28").is_motion
+
+    def test_axes_present_ordered(self):
+        cmd = GCodeCommand("G1", {"Z": 1.0, "X": 2.0})
+        assert cmd.axes_present() == ("X", "Z")
+
+    def test_to_line_canonical(self):
+        cmd = GCodeCommand("G1", {"X": 5.0, "F": 1200.0})
+        assert cmd.to_line() == "G1 F1200 X5"
+
+    def test_replace_params(self):
+        cmd = GCodeCommand("G1", {"X": 5.0, "F": 1200.0})
+        fast = cmd.replace_params(F=2400.0)
+        assert fast.params["F"] == 2400.0
+        assert cmd.params["F"] == 1200.0  # Original untouched.
+
+    def test_replace_params_remove(self):
+        cmd = GCodeCommand("G1", {"X": 5.0, "F": 1200.0})
+        no_feed = cmd.replace_params(F=None)
+        assert "F" not in no_feed.params
+
+
+class TestProgram:
+    SAMPLE = """
+    G21 ; mm
+    G90
+    G28
+    G1 F1200 X5 Y5 Z5
+    G1 F1200 X10 Y5 Z5
+    """
+
+    def test_from_text(self):
+        prog = GCodeProgram.from_text(self.SAMPLE, name="sample")
+        assert len(prog) == 5
+        assert prog[3].params["X"] == 5.0
+
+    def test_round_trip(self):
+        prog = GCodeProgram.from_text(self.SAMPLE)
+        again = GCodeProgram.from_text(prog.to_text())
+        assert len(again) == len(prog)
+        for a, b in zip(prog, again):
+            assert a.code == b.code
+            assert a.params == b.params
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(GCodeError, match="line 2"):
+            GCodeProgram.from_text("G28\nG1 X1 X2")
+
+    def test_motion_commands(self):
+        prog = GCodeProgram.from_text(self.SAMPLE)
+        assert len(prog.motion_commands()) == 2
+
+    def test_append_extend(self):
+        prog = GCodeProgram()
+        prog.append(GCodeCommand("G28"))
+        prog.extend([GCodeCommand("G1", {"X": 1.0})])
+        assert len(prog) == 2
+
+    def test_rejects_non_command(self):
+        with pytest.raises(GCodeError):
+            GCodeProgram(["G1 X1"])
+
+
+@st.composite
+def commands(draw):
+    code = draw(st.sampled_from(["G0", "G1", "G4", "G28", "M104", "M106"]))
+    letters = draw(
+        st.sets(st.sampled_from(["X", "Y", "Z", "E", "F", "S", "P"]), max_size=4)
+    )
+    params = {}
+    for letter in letters:
+        value = draw(
+            st.floats(
+                min_value=-1000,
+                max_value=1000,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        params[letter] = round(value, 6)
+    return GCodeCommand(code, params)
+
+
+class TestPropertyRoundTrip:
+    @given(commands())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_roundtrip(self, cmd):
+        parsed = parse_line(cmd.to_line())
+        assert parsed.code == cmd.code
+        assert set(parsed.params) == set(cmd.params)
+        for letter, value in cmd.params.items():
+            assert parsed.params[letter] == pytest.approx(value, abs=1e-6)

@@ -1,0 +1,144 @@
+"""Tests for repro.manufacturing.kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GCodeError
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.kinematics import MachineConfig, MotionPlanner
+from repro.manufacturing.steppers import StepperMotor
+
+
+def plan(text):
+    return MotionPlanner().plan(GCodeProgram.from_text(text))
+
+
+class TestBasicMoves:
+    def test_single_axis_move(self):
+        segs = plan("G90\nG1 F600 X10")
+        assert len(segs) == 1
+        seg = segs[0]
+        assert seg.active_axes == frozenset({"X"})
+        # 10 mm at 600 mm/min = 10 mm/s -> 1 s.
+        assert seg.duration == pytest.approx(1.0)
+        assert seg.axis_speeds["X"] == pytest.approx(10.0)
+
+    def test_step_frequency(self):
+        segs = plan("G90\nG1 F600 X10")
+        # X motor: 80 steps/mm * 10 mm/s = 800 Hz.
+        assert segs[0].step_frequencies["X"] == pytest.approx(800.0)
+
+    def test_diagonal_move_two_axes(self):
+        segs = plan("G90\nG1 F600 X3 Y4")
+        seg = segs[0]
+        assert seg.active_axes == frozenset({"X", "Y"})
+        # Path length 5 mm at 10 mm/s -> 0.5 s.
+        assert seg.duration == pytest.approx(0.5)
+        assert seg.axis_speeds["X"] == pytest.approx(6.0)
+        assert seg.axis_speeds["Y"] == pytest.approx(8.0)
+
+    def test_modal_feed_rate_persists(self):
+        segs = plan("G90\nG1 F600 X10\nG1 X0")
+        assert segs[1].feed_rate == 600.0
+
+    def test_rapid_uses_rapid_feed(self):
+        segs = plan("G90\nG0 X10")
+        assert segs[0].feed_rate == MachineConfig().rapid_feed_rate
+
+    def test_no_motion_no_segment(self):
+        segs = plan("G90\nG1 F600\nG1 X0")  # X already at 0.
+        assert segs == []
+
+
+class TestModes:
+    def test_relative_mode(self):
+        segs = plan("G91\nG1 F600 X5\nG1 X5")
+        assert segs[0].end["X"] == pytest.approx(5.0)
+        assert segs[1].end["X"] == pytest.approx(10.0)
+
+    def test_absolute_after_relative(self):
+        segs = plan("G91\nG1 F600 X5\nG90\nG1 X20")
+        assert segs[1].end["X"] == pytest.approx(20.0)
+
+    def test_home_returns_to_origin(self):
+        segs = plan("G90\nG1 F600 X10 Y10\nG28")
+        home = segs[-1]
+        assert home.end["X"] == 0.0
+        assert home.end["Y"] == 0.0
+        assert home.active_axes >= {"X", "Y"}
+
+    def test_home_specific_axis(self):
+        segs = plan("G90\nG1 F600 X10 Y10\nG28 X0")
+        home = segs[-1]
+        assert home.active_axes == frozenset({"X"})
+        assert home.end["Y"] == pytest.approx(10.0)
+
+    def test_home_at_origin_no_segment(self):
+        segs = plan("G28")
+        assert segs == []
+
+
+class TestDwell:
+    def test_dwell_p_milliseconds(self):
+        segs = plan("G4 P500")
+        assert segs[0].is_dwell
+        assert segs[0].duration == pytest.approx(0.5)
+
+    def test_dwell_s_seconds(self):
+        segs = plan("G4 S2")
+        assert segs[0].duration == pytest.approx(2.0)
+
+    def test_dwell_without_time_raises(self):
+        with pytest.raises(GCodeError):
+            plan("G4")
+
+    def test_nonpositive_dwell_raises(self):
+        with pytest.raises(GCodeError):
+            plan("G4 P0")
+
+
+class TestLimits:
+    def test_speed_clamped_to_motor_max(self):
+        # Z motor max 25 mm/s; request 6000 mm/min = 100 mm/s.
+        segs = plan("G90\nG1 F6000 Z10")
+        assert segs[0].axis_speeds["Z"] <= 25.0 + 1e-9
+
+    def test_nonpositive_feed_raises(self):
+        with pytest.raises(GCodeError):
+            plan("G90\nG1 F0 X5")
+
+    def test_inert_codes_ignored(self):
+        segs = plan("G21\nM104 S200\nM106 S255\nG90\nG1 F600 X1")
+        assert len(segs) == 1
+
+
+class TestConfigValidation:
+    def test_motor_axis_mismatch(self):
+        bad = {"X": StepperMotor(axis="Y", steps_per_mm=80, max_speed=100)}
+        with pytest.raises(ConfigurationError):
+            MachineConfig(motors=bad)
+
+    def test_bad_feed_rates(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(default_feed_rate=0)
+
+    def test_missing_motor_lookup(self):
+        cfg = MachineConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.motor("Q")
+
+
+class TestSegmentMetadata:
+    def test_travel(self):
+        segs = plan("G90\nG1 F600 X10")
+        assert segs[0].travel["X"] == pytest.approx(10.0)
+        assert segs[0].travel["Y"] == pytest.approx(0.0)
+
+    def test_command_reference_and_index(self):
+        segs = plan("G90\nG1 F600 X10\nG1 Y5")
+        assert segs[0].index == 1
+        assert segs[1].command.params["Y"] == 5.0
+
+    def test_str(self):
+        segs = plan("G90\nG1 F600 X10")
+        assert "X" in str(segs[0])

@@ -1,0 +1,139 @@
+"""Tests for repro.manufacturing.power and multichannel recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.dsp.stft import power_spectrum
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.kinematics import MotionPlanner
+from repro.manufacturing.multichannel import record_multichannel_dataset
+from repro.manufacturing.power import (
+    PowerSignature,
+    PowerTraceSynthesizer,
+    default_power_signatures,
+)
+
+
+def segments_for(text):
+    return MotionPlanner().plan(GCodeProgram.from_text(text))
+
+
+class TestPowerSignature:
+    def test_defaults_valid(self):
+        PowerSignature()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            PowerSignature(running_current=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerSignature(ripple_gain=-0.1)
+        with pytest.raises(ConfigurationError):
+            PowerSignature(harmonic_gains=())
+
+    def test_default_set_covers_axes(self):
+        sigs = default_power_signatures()
+        assert set(sigs) == {"X", "Y", "Z", "E"}
+        # Z lead screw draws the most current.
+        assert sigs["Z"].running_current > sigs["X"].running_current
+
+
+class TestSynthesizer:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            PowerTraceSynthesizer(sample_rate=0)
+        with pytest.raises(ConfigurationError):
+            PowerTraceSynthesizer(heater_period=0)
+
+    def test_running_motor_raises_mean_current(self):
+        synth = PowerTraceSynthesizer(noise_level=0.0)
+        (move,) = segments_for("G90\nG1 F600 X10")
+        (dwell,) = segments_for("G4 S1")
+        moving = synth.synthesize_segment(move, seed=0)
+        idle = synth.synthesize_segment(dwell, seed=0)
+        assert moving.mean() > idle.mean() + 0.5
+
+    def test_z_draws_more_than_x(self):
+        synth = PowerTraceSynthesizer(noise_level=0.0)
+        (x_move,) = segments_for("G90\nG1 F600 X10")
+        (z_move,) = segments_for("G90\nG1 F72 Z2")
+        x_mean = synth.synthesize_segment(x_move, seed=0).mean()
+        z_mean = synth.synthesize_segment(z_move, seed=0).mean()
+        assert z_mean > x_mean
+
+    def test_ripple_at_step_frequency(self):
+        synth = PowerTraceSynthesizer(
+            sample_rate=5000.0, noise_level=0.0, heater_current=0.0
+        )
+        (move,) = segments_for("G90\nG1 F600 X10")  # X at 800 Hz.
+        trace = synth.synthesize_segment(move, seed=0)
+        freqs, power = power_spectrum(trace - trace.mean(), 5000.0)
+        peak = freqs[power.argmax()]
+        assert abs(peak - 800.0) < 20.0
+
+    def test_ripple_above_nyquist_vanishes(self):
+        synth = PowerTraceSynthesizer(
+            sample_rate=1000.0, noise_level=0.0, heater_current=0.0
+        )
+        (move,) = segments_for("G90\nG1 F600 X10")  # 800 Hz > 500 Hz Nyquist.
+        trace = synth.synthesize_segment(move, seed=0)
+        assert trace.std() < 1e-9  # Pure DC: no visible ripple.
+
+    def test_render_boundaries(self):
+        synth = PowerTraceSynthesizer()
+        segs = segments_for("G90\nG1 F600 X10\nG1 Y5")
+        trace, bounds = synth.render(segs, seed=0)
+        assert len(bounds) == len(segs) + 1
+        assert bounds[-1] == pytest.approx(len(trace) / synth.sample_rate)
+
+    def test_heater_phase_continuous(self):
+        synth = PowerTraceSynthesizer(noise_level=0.0)
+        segs = segments_for("G90\nG1 F600 X10\nG1 X0")
+        trace, _ = synth.render(segs, seed=0)
+        # No jump larger than the per-sample heater slew at boundaries.
+        jumps = np.abs(np.diff(trace))
+        assert jumps.max() < 0.5  # Motor ripple amplitude bound, no steps.
+
+    def test_deterministic(self):
+        synth = PowerTraceSynthesizer()
+        segs = segments_for("G90\nG1 F600 X10")
+        a, _ = synth.render(segs, seed=9)
+        b, _ = synth.render(segs, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMultichannel:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        return record_multichannel_dataset(n_moves_per_axis=6, seed=0)
+
+    def test_row_alignment(self, recording):
+        n = len(recording.acoustic)
+        assert len(recording.power) == n
+        assert len(recording.fused) == n
+        np.testing.assert_array_equal(
+            recording.acoustic.conditions, recording.power.conditions
+        )
+
+    def test_fused_is_concatenation(self, recording):
+        assert (
+            recording.fused.feature_dim
+            == recording.acoustic.feature_dim + recording.power.feature_dim
+        )
+        np.testing.assert_array_equal(
+            recording.fused.features[:, : recording.acoustic.feature_dim],
+            recording.acoustic.features,
+        )
+
+    def test_power_features_include_stats(self, recording):
+        # 50 bins + 3 stats.
+        assert recording.power.feature_dim == 53
+        assert recording.extractors["power"].include_stats
+
+    def test_all_conditions_present(self, recording):
+        assert len(recording.acoustic.unique_conditions()) == 3
+
+    def test_deterministic(self):
+        a = record_multichannel_dataset(n_moves_per_axis=4, seed=5)
+        b = record_multichannel_dataset(n_moves_per_axis=4, seed=5)
+        np.testing.assert_allclose(a.fused.features, b.fused.features)

@@ -1,0 +1,58 @@
+"""Tests for repro.manufacturing.printer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.printer import Printer3D
+from repro.manufacturing.programs import single_motor_program
+
+
+@pytest.fixture(scope="module")
+def printer():
+    return Printer3D(sample_rate=12000.0, seed=0)
+
+
+class TestRun:
+    def test_run_produces_aligned_trace(self, printer):
+        prog = single_motor_program("X", 5, seed=0)
+        run = printer.run(prog, seed=1)
+        assert len(run.boundaries) == len(run.segments) + 1
+        assert run.audio.sample_rate == 12000.0
+        total = sum(
+            b2 - b1 for b1, b2 in zip(run.boundaries, run.boundaries[1:])
+        )
+        assert run.audio.duration == pytest.approx(total, abs=1e-6)
+
+    def test_segment_audio_lengths(self, printer):
+        prog = single_motor_program("Y", 4, seed=2)
+        run = printer.run(prog, seed=3)
+        for i, seg in enumerate(run.segments):
+            audio = run.segment_audio(i)
+            assert len(audio) == pytest.approx(
+                seg.duration * printer.sample_rate, abs=2
+            )
+
+    def test_segment_audio_bounds(self, printer):
+        prog = single_motor_program("X", 3, seed=4)
+        run = printer.run(prog, seed=5)
+        with pytest.raises(ConfigurationError):
+            run.segment_audio(len(run.segments))
+
+    def test_deterministic_given_seed(self):
+        prog = single_motor_program("X", 3, seed=0)
+        p1 = Printer3D(sample_rate=12000.0)
+        p2 = Printer3D(sample_rate=12000.0)
+        r1 = p1.run(prog, seed=77)
+        r2 = p2.run(prog, seed=77)
+        np.testing.assert_array_equal(r1.audio.samples, r2.audio.samples)
+
+    def test_plan_only(self, printer):
+        prog = single_motor_program("Z", 4, seed=6)
+        segs = printer.plan(prog)
+        assert all(s.active_axes <= {"Z"} for s in segs)
+
+    def test_repr(self, printer):
+        run = printer.run(single_motor_program("X", 2, seed=7), seed=8)
+        assert "PrintRun" in repr(run)

@@ -1,0 +1,110 @@
+"""Tests for repro.manufacturing.quality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.manufacturing.gcode import GCodeProgram
+from repro.manufacturing.kinematics import MotionPlanner
+from repro.manufacturing.quality import (
+    bounding_box,
+    geometric_damage_report,
+    hausdorff_distance,
+    mean_deviation,
+    path_length,
+    resample_polyline,
+    toolpath_points,
+)
+
+
+def plan(text):
+    return MotionPlanner().plan(GCodeProgram.from_text(text))
+
+
+SQUARE = "G90\nG1 F1200 X10\nG1 Y10\nG1 X0\nG1 Y0"
+
+
+class TestToolpath:
+    def test_square_waypoints(self):
+        pts = toolpath_points(plan(SQUARE))
+        assert pts.shape == (5, 3)
+        np.testing.assert_allclose(pts[1], [10, 0, 0])
+        np.testing.assert_allclose(pts[-1], [0, 0, 0])
+
+    def test_dwell_skipped(self):
+        pts = toolpath_points(plan("G90\nG1 F1200 X5\nG4 P100\nG1 X10"))
+        assert pts.shape == (3, 3)
+
+    def test_empty_plan_raises(self):
+        with pytest.raises(DataError):
+            toolpath_points([])
+
+    def test_path_length_square(self):
+        assert path_length(toolpath_points(plan(SQUARE))) == pytest.approx(40.0)
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box(toolpath_points(plan(SQUARE)))
+        np.testing.assert_allclose(lo, [0, 0, 0])
+        np.testing.assert_allclose(hi, [10, 10, 0])
+
+
+class TestResample:
+    def test_count_and_endpoints(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        out = resample_polyline(pts, 11)
+        assert out.shape == (11, 2)
+        np.testing.assert_allclose(out[0], [0, 0])
+        np.testing.assert_allclose(out[-1], [10, 0])
+        np.testing.assert_allclose(out[5], [5, 0])
+
+    def test_single_point(self):
+        out = resample_polyline(np.array([[1.0, 2.0]]), 4)
+        assert out.shape == (4, 2)
+        assert np.all(out == [1.0, 2.0])
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            resample_polyline(np.zeros((3, 2)), 1)
+
+
+class TestDeviation:
+    def test_identical_paths_zero(self):
+        pts = toolpath_points(plan(SQUARE))
+        assert hausdorff_distance(pts, pts) == pytest.approx(0.0, abs=1e-9)
+        assert mean_deviation(pts, pts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_translated_line(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = a + np.array([0.0, 3.0])
+        assert hausdorff_distance(a, b) == pytest.approx(3.0, abs=1e-6)
+        assert mean_deviation(a, b) == pytest.approx(3.0, abs=1e-6)
+
+    def test_symmetric(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[0.0, 0.0], [10.0, 5.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(
+            hausdorff_distance(b, a)
+        )
+
+    def test_axis_swap_attack_causes_damage(self):
+        claimed = plan("G90\nG1 F1200 X20")
+        executed = plan("G90\nG1 F1200 Y20")  # Attacker swapped the axis.
+        report = geometric_damage_report(claimed, executed)
+        assert report["hausdorff_mm"] > 10.0
+        assert report["claimed_length_mm"] == pytest.approx(
+            report["executed_length_mm"]
+        )
+
+    def test_feed_rate_attack_no_geometric_damage(self):
+        # Feed tampering changes speed, not geometry: the toolpath
+        # deviation is zero even though the emission spectrum shifts.
+        claimed = plan("G90\nG1 F1200 X20\nG1 Y10")
+        executed = plan("G90\nG1 F2400 X20\nG1 Y10")
+        report = geometric_damage_report(claimed, executed)
+        assert report["hausdorff_mm"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_attack_bbox_growth(self):
+        claimed = plan("G90\nG1 F1200 X10\nG1 Y10")
+        executed = plan("G90\nG1 F1200 X12\nG1 Y12")  # 20% oversize part.
+        report = geometric_damage_report(claimed, executed)
+        assert report["bbox_growth_mm"] >= 2.0

@@ -1,0 +1,79 @@
+"""Tests for repro.manufacturing.steppers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.manufacturing.steppers import (
+    AcousticSignature,
+    StepperMotor,
+    default_motors,
+)
+
+
+class TestAcousticSignature:
+    def test_defaults_valid(self):
+        AcousticSignature()
+
+    def test_rejects_empty_harmonics(self):
+        with pytest.raises(ConfigurationError):
+            AcousticSignature(harmonic_gains=())
+
+    def test_rejects_negative_harmonic(self):
+        with pytest.raises(ConfigurationError):
+            AcousticSignature(harmonic_gains=(1.0, -0.5))
+
+    def test_rejects_nonpositive_resonance(self):
+        with pytest.raises(ConfigurationError):
+            AcousticSignature(resonance_hz=0.0)
+
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ConfigurationError):
+            AcousticSignature(broadband_gain=-0.1)
+
+
+class TestStepperMotor:
+    def test_step_frequency_linear(self):
+        motor = StepperMotor(axis="X", steps_per_mm=80, max_speed=200)
+        assert motor.step_frequency(10.0) == pytest.approx(800.0)
+        assert motor.step_frequency(0.0) == 0.0
+
+    def test_step_frequency_rejects_negative(self):
+        motor = StepperMotor(axis="X", steps_per_mm=80, max_speed=200)
+        with pytest.raises(ConfigurationError):
+            motor.step_frequency(-1.0)
+
+    def test_clamp_speed(self):
+        motor = StepperMotor(axis="X", steps_per_mm=80, max_speed=50)
+        assert motor.clamp_speed(100.0) == 50.0
+        assert motor.clamp_speed(20.0) == 20.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            StepperMotor(axis="X", steps_per_mm=0, max_speed=10)
+        with pytest.raises(ConfigurationError):
+            StepperMotor(axis="X", steps_per_mm=80, max_speed=0)
+
+
+class TestDefaultMotors:
+    def test_covers_xyze(self):
+        motors = default_motors()
+        assert set(motors) == {"X", "Y", "Z", "E"}
+        for axis, motor in motors.items():
+            assert motor.axis == axis
+
+    def test_z_is_lead_screw(self):
+        motors = default_motors()
+        # Z: much higher steps/mm, much lower max speed than X.
+        assert motors["Z"].steps_per_mm > 4 * motors["X"].steps_per_mm
+        assert motors["Z"].max_speed < motors["X"].max_speed / 4
+
+    def test_distinct_resonances(self):
+        motors = default_motors()
+        resonances = {m.signature.resonance_hz for m in motors.values()}
+        assert len(resonances) == 4
+
+    def test_z_resonance_above_xy(self):
+        # Z's sharp high resonance is what makes Cond3 most identifiable.
+        motors = default_motors()
+        assert motors["Z"].signature.resonance_hz > 2 * motors["X"].signature.resonance_hz
+        assert motors["Z"].signature.resonance_hz > 1.8 * motors["Y"].signature.resonance_hz

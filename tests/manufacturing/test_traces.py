@@ -1,0 +1,106 @@
+"""Tests for repro.manufacturing.traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.dsp.features import FrequencyFeatureExtractor
+from repro.flows.encoding import CombinationEncoder, SingleMotorEncoder
+from repro.manufacturing.printer import Printer3D
+from repro.manufacturing.programs import layered_object_program, single_motor_program
+from repro.manufacturing.traces import (
+    build_dataset,
+    collect_segments,
+    record_case_study_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def printer():
+    return Printer3D(sample_rate=12000.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def xyz_runs(printer):
+    return [
+        printer.run(single_motor_program(axis, 6, seed=i), seed=10 + i)
+        for i, axis in enumerate("XYZ")
+    ]
+
+
+class TestCollectSegments:
+    def test_labels_match_axes(self, xyz_runs):
+        segs = collect_segments(xyz_runs)
+        labels = {tuple(sorted(s.active_axes)) for s in segs}
+        assert labels <= {("X",), ("Y",), ("Z",)}
+        assert len(labels) == 3
+
+    def test_max_duration_crop(self, xyz_runs):
+        segs = collect_segments(xyz_runs, max_duration=0.1)
+        for seg in segs:
+            assert len(seg.samples) <= int(0.1 * 12000) + 1
+
+    def test_min_duration_filter(self, xyz_runs):
+        segs_all = collect_segments(xyz_runs, min_duration=0.0)
+        segs_strict = collect_segments(xyz_runs, min_duration=0.3)
+        assert len(segs_strict) <= len(segs_all)
+
+    def test_no_runs_raises(self):
+        with pytest.raises(DataError):
+            collect_segments([])
+
+    def test_metadata(self, xyz_runs):
+        segs = collect_segments(xyz_runs)
+        assert all(seg.program_name for seg in segs)
+
+
+class TestBuildDataset:
+    def test_dimensions(self, xyz_runs):
+        segs = collect_segments(xyz_runs)
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=40)
+        ds = build_dataset(segs, ex)
+        assert ds.feature_dim == 40
+        assert ds.condition_dim == 3
+        assert len(ds) == len(segs)
+
+    def test_multi_axis_dropped_by_single_encoder(self, printer):
+        run = printer.run(layered_object_program(1), seed=4)
+        segs = collect_segments([run])
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=20)
+        ds = build_dataset(segs, ex, SingleMotorEncoder())
+        # Diagonal X+Y moves are not representable and must be dropped.
+        assert len(ds) < len(segs)
+
+    def test_combination_encoder_keeps_diagonals(self, printer):
+        run = printer.run(layered_object_program(1), seed=4)
+        segs = collect_segments([run])
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=20)
+        ds = build_dataset(segs, ex, CombinationEncoder())
+        assert ds.condition_dim == 8
+        assert len(ds) == len(segs)
+
+    def test_features_scaled(self, xyz_runs):
+        segs = collect_segments(xyz_runs)
+        ex = FrequencyFeatureExtractor(12000.0, n_bins=20)
+        ds = build_dataset(segs, ex)
+        assert ds.features.min() >= 0.0
+        assert ds.features.max() <= 1.0
+
+
+class TestRecordCaseStudy:
+    def test_full_recording(self, case_study_small=None):
+        ds, ex, enc, runs = record_case_study_dataset(
+            n_moves_per_axis=5, seed=0, n_bins=30
+        )
+        assert ds.feature_dim == 30
+        assert ds.condition_dim == 3
+        assert len(runs) == 3
+        assert ex.scaler.fitted
+        # Every condition observed.
+        assert len(ds.unique_conditions()) == 3
+
+    def test_deterministic(self):
+        a, *_ = record_case_study_dataset(n_moves_per_axis=4, seed=5, n_bins=16)
+        b, *_ = record_case_study_dataset(n_moves_per_axis=4, seed=5, n_bins=16)
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.conditions, b.conditions)

@@ -1,0 +1,55 @@
+"""Tests for repro.manufacturing.wav."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.flows.energy import EnergyFlowData
+from repro.manufacturing.wav import read_wav, write_wav
+
+
+def tone_trace(freq=440.0, sr=12000.0, duration=0.1):
+    t = np.arange(int(sr * duration)) / sr
+    return EnergyFlowData(np.sin(2 * np.pi * freq * t), sr, name="tone")
+
+
+class TestRoundTrip:
+    def test_waveform_preserved(self, tmp_path):
+        trace = tone_trace()
+        path = write_wav(trace, tmp_path / "tone.wav", normalize=False)
+        back = read_wav(path)
+        assert back.sample_rate == trace.sample_rate
+        assert len(back) == len(trace)
+        # 16-bit quantization error bound.
+        assert np.max(np.abs(back.samples - trace.samples)) < 1e-3
+
+    def test_normalization(self, tmp_path):
+        quiet = EnergyFlowData(0.01 * tone_trace().samples, 12000.0)
+        path = write_wav(quiet, tmp_path / "q.wav", normalize=True)
+        back = read_wav(path)
+        assert np.max(np.abs(back.samples)) == pytest.approx(0.9, abs=0.01)
+
+    def test_clipping_without_normalization(self, tmp_path):
+        loud = EnergyFlowData(3.0 * tone_trace().samples, 12000.0)
+        path = write_wav(loud, tmp_path / "l.wav", normalize=False)
+        back = read_wav(path)
+        assert np.max(np.abs(back.samples)) <= 1.0
+
+    def test_creates_dirs(self, tmp_path):
+        path = write_wav(tone_trace(), tmp_path / "a" / "b" / "c.wav")
+        assert path.exists()
+
+
+class TestFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            read_wav(tmp_path / "nope.wav")
+
+    def test_printer_trace_roundtrips(self, tmp_path):
+        from repro.manufacturing import Printer3D, single_motor_program
+
+        printer = Printer3D(sample_rate=12000.0, seed=0)
+        run = printer.run(single_motor_program("X", 2, seed=1), seed=2)
+        path = write_wav(run.audio, tmp_path / "print.wav")
+        back = read_wav(path)
+        assert back.duration == pytest.approx(run.audio.duration, abs=1e-3)

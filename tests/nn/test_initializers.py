@@ -1,0 +1,103 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    get_initializer,
+)
+
+
+class TestZerosAndConstant:
+    def test_zeros(self):
+        w = Zeros()((3, 4), 0)
+        assert w.shape == (3, 4)
+        assert np.all(w == 0.0)
+
+    def test_constant(self):
+        w = Constant(2.5)((5,), 0)
+        assert np.all(w == 2.5)
+
+
+class TestRandomInits:
+    def test_normal_std(self):
+        w = RandomNormal(std=0.5)((200, 200), 0)
+        assert abs(w.std() - 0.5) < 0.02
+        assert abs(w.mean()) < 0.02
+
+    def test_normal_rejects_bad_std(self):
+        with pytest.raises(ConfigurationError):
+            RandomNormal(std=0.0)
+
+    def test_uniform_bounds(self):
+        w = RandomUniform(-0.1, 0.3)((100, 100), 0)
+        assert w.min() >= -0.1
+        assert w.max() < 0.3
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RandomUniform(1.0, -1.0)
+
+
+class TestVarianceScaling:
+    @pytest.mark.parametrize("cls", [GlorotUniform, GlorotNormal])
+    def test_glorot_variance(self, cls):
+        fan_in, fan_out = 50, 150
+        w = cls()((fan_in, fan_out), 12)
+        expected_var = 2.0 / (fan_in + fan_out)
+        assert abs(w.var() - expected_var) / expected_var < 0.15
+
+    @pytest.mark.parametrize("cls", [HeUniform, HeNormal])
+    def test_he_variance(self, cls):
+        fan_in = 80
+        w = cls()((fan_in, 120), 12)
+        expected_var = 2.0 / fan_in
+        assert abs(w.var() - expected_var) / expected_var < 0.15
+
+    def test_bias_shape_uses_length_as_fan(self):
+        w = GlorotUniform()((64,), 3)
+        assert w.shape == (64,)
+        limit = np.sqrt(6.0 / (64 + 64))
+        assert np.all(np.abs(w) <= limit)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = GlorotUniform()((10, 10), 42)
+        b = GlorotUniform()((10, 10), 42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_weights(self):
+        a = GlorotUniform()((10, 10), 42)
+        b = GlorotUniform()((10, 10), 43)
+        assert not np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_initializer("he_uniform"), HeUniform)
+        assert isinstance(get_initializer("zeros"), Zeros)
+
+    def test_passthrough_instance(self):
+        init = Constant(1.0)
+        assert get_initializer(init) is init
+
+    def test_class_spec(self):
+        assert isinstance(get_initializer(GlorotNormal), GlorotNormal)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown initializer"):
+            get_initializer("nope")
+
+    def test_garbage_spec_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_initializer(123)

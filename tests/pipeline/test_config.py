@@ -1,0 +1,48 @@
+"""Tests for repro.pipeline.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.config import AnalysisConfig, CGANConfig, GANSecConfig
+
+
+class TestCGANConfig:
+    def test_defaults_valid(self):
+        cfg = CGANConfig()
+        assert cfg.iterations > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"noise_dim": 0},
+            {"iterations": 0},
+            {"batch_size": 0},
+            {"k_disc": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CGANConfig(**kwargs)
+
+
+class TestAnalysisConfig:
+    def test_defaults_are_paper_values(self):
+        cfg = AnalysisConfig()
+        assert cfg.h == 0.2
+        assert cfg.g_size == 200
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"h": 0.0}, {"g_size": 0}, {"test_fraction": 0.0}, {"test_fraction": 1.0}],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(**kwargs)
+
+
+class TestTopLevel:
+    def test_composes(self):
+        cfg = GANSecConfig(seed=42)
+        assert cfg.cgan.iterations == 2000
+        assert cfg.analysis.h == 0.2

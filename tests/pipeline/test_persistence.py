@@ -1,0 +1,61 @@
+"""Tests for GANSec pipeline save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, SerializationError
+from repro.manufacturing import GCODE_FLOW, printer_architecture
+from repro.pipeline import CGANConfig, GANSec, GANSecConfig
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline(case_dataset):
+    pipe = GANSec(
+        printer_architecture(),
+        GANSecConfig(cgan=CGANConfig(iterations=100), seed=1),
+    )
+    pipe.run({("F18", GCODE_FLOW): case_dataset})
+    return pipe
+
+
+class TestSaveLoad:
+    def test_roundtrip_generator_outputs(self, trained_pipeline, tmp_path):
+        trained_pipeline.save(tmp_path / "models")
+
+        fresh = GANSec(printer_architecture(), GANSecConfig(seed=2))
+        loaded = fresh.load(tmp_path / "models")
+        assert ("F18", GCODE_FLOW) in loaded
+
+        original = trained_pipeline.models[("F18", GCODE_FLOW)]
+        restored = fresh.models[("F18", GCODE_FLOW)]
+        cond = original.test_set.unique_conditions()[0]
+        np.testing.assert_allclose(
+            original.cgan.generate_for_condition(cond, 4, seed=9),
+            restored.cgan.generate_for_condition(cond, 4, seed=9),
+        )
+        np.testing.assert_array_equal(
+            original.test_set.features, restored.test_set.features
+        )
+
+    def test_loaded_pipeline_can_analyze(self, trained_pipeline, tmp_path):
+        trained_pipeline.save(tmp_path / "m2")
+        fresh = GANSec(printer_architecture(), GANSecConfig(seed=3))
+        fresh.load(tmp_path / "m2")
+        reports = fresh.analyze()
+        assert ("F18", GCODE_FLOW) in reports
+
+    def test_save_without_models_raises(self, tmp_path):
+        pipe = GANSec(printer_architecture(), GANSecConfig(seed=0))
+        with pytest.raises(NotFittedError):
+            pipe.save(tmp_path / "empty")
+
+    def test_load_missing_directory(self, tmp_path):
+        pipe = GANSec(printer_architecture(), GANSecConfig(seed=0))
+        with pytest.raises(SerializationError):
+            pipe.load(tmp_path / "absent")
+
+    def test_load_empty_directory(self, tmp_path):
+        (tmp_path / "hollow").mkdir()
+        pipe = GANSec(printer_architecture(), GANSecConfig(seed=0))
+        with pytest.raises(SerializationError, match="no pair models"):
+            pipe.load(tmp_path / "hollow")

@@ -1,0 +1,84 @@
+"""Tests for repro.security.attacks (attack injection)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.flows.dataset import FlowPairDataset
+from repro.security.attacks import (
+    axis_swap_attack,
+    feed_rate_attack,
+    motor_stall_attack,
+)
+
+
+class TestAxisSwap:
+    def test_claims_differ_from_truth(self, toy_dataset):
+        features, claims = axis_swap_attack(toy_dataset, seed=0)
+        assert features.shape[0] == claims.shape[0] == len(toy_dataset)
+        # Claimed conditions are valid one-hots from the dataset's set.
+        valid = {tuple(c) for c in toy_dataset.unique_conditions()}
+        assert all(tuple(c) in valid for c in claims)
+
+    def test_features_are_real_rows(self, toy_dataset):
+        features, _ = axis_swap_attack(toy_dataset, seed=1, n_attacks=10)
+        real = {tuple(r) for r in toy_dataset.features}
+        assert all(tuple(r) in real for r in features)
+
+    def test_needs_two_conditions(self):
+        ds = FlowPairDataset(np.random.rand(10, 3), np.tile([1.0], (10, 1)))
+        with pytest.raises(DataError):
+            axis_swap_attack(ds)
+
+    def test_rejects_bad_count(self, toy_dataset):
+        with pytest.raises(ConfigurationError):
+            axis_swap_attack(toy_dataset, n_attacks=0)
+
+    def test_deterministic(self, toy_dataset):
+        f1, c1 = axis_swap_attack(toy_dataset, seed=9, n_attacks=5)
+        f2, c2 = axis_swap_attack(toy_dataset, seed=9, n_attacks=5)
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestPhysicalAttacks:
+    def test_motor_stall_features_near_silence(self, case_study):
+        ds, extractor, encoder, runs = case_study
+        from repro.manufacturing import Printer3D
+
+        printer = Printer3D(sample_rate=12000.0, seed=5)
+        features, claims = motor_stall_attack(
+            printer, extractor, encoder, "X", n_moves=4, seed=0
+        )
+        assert features.shape[0] == claims.shape[0]
+        assert features.shape[1] == ds.feature_dim
+        # Silent emissions sit at the bottom of the scaled feature range,
+        # well below typical running-motor features.
+        assert features.mean() < ds.features.mean()
+
+    def test_feed_rate_attack_shifts_features(self, case_study):
+        ds, extractor, encoder, _runs = case_study
+        from repro.manufacturing import Printer3D
+
+        printer = Printer3D(sample_rate=12000.0, seed=5)
+        features, claims = feed_rate_attack(
+            printer, extractor, encoder, "X", scale=2.5, n_moves=4, seed=0
+        )
+        assert features.shape[0] == claims.shape[0]
+        assert np.all(claims.sum(axis=1) == 1.0)
+
+    def test_feed_rate_rejects_identity_scale(self, case_study):
+        _ds, extractor, encoder, _runs = case_study
+        from repro.manufacturing import Printer3D
+
+        printer = Printer3D(sample_rate=12000.0, seed=5)
+        with pytest.raises(ConfigurationError):
+            feed_rate_attack(printer, extractor, encoder, "X", scale=1.0)
+
+    def test_feed_rate_rejects_bad_scale(self, case_study):
+        _ds, extractor, encoder, _runs = case_study
+        from repro.manufacturing import Printer3D
+
+        printer = Printer3D(sample_rate=12000.0, seed=5)
+        with pytest.raises(ConfigurationError):
+            feed_rate_attack(printer, extractor, encoder, "X", scale=0.0)

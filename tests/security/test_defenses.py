@@ -1,0 +1,133 @@
+"""Tests for repro.security.defenses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dsp.features import FrequencyFeatureExtractor
+from repro.flows.encoding import SingleMotorEncoder
+from repro.manufacturing import Printer3D, calibration_suite, single_motor_program
+from repro.security.defenses import (
+    AcousticMasking,
+    CombinedDefense,
+    Defense,
+    DefenseReport,
+    FeedRateDithering,
+    record_defended_dataset,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAcousticMasking:
+    def test_adds_band_limited_noise(self):
+        sr = 12000.0
+        silence = np.zeros(int(sr * 0.2))
+        defense = AcousticMasking(level=0.5, f_low=500, f_high=1000)
+        out = defense.apply_audio(silence, sr, rng())
+        assert np.sqrt(np.mean(out**2)) == pytest.approx(0.5, rel=0.05)
+        # Energy concentrated in the masking band.
+        spectrum = np.abs(np.fft.rfft(out)) ** 2
+        freqs = np.fft.rfftfreq(len(out), 1 / sr)
+        in_band = spectrum[(freqs >= 500) & (freqs <= 1000)].sum()
+        assert in_band / spectrum.sum() > 0.95
+
+    def test_program_untouched(self):
+        prog = single_motor_program("X", 3, seed=0)
+        defense = AcousticMasking()
+        assert defense.apply_program(prog, rng()) is prog
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            AcousticMasking(level=0.0)
+        with pytest.raises(ConfigurationError):
+            AcousticMasking(f_low=1000, f_high=100)
+
+    def test_empty_audio(self):
+        out = AcousticMasking().apply_audio(np.zeros(0), 12000.0, rng())
+        assert len(out) == 0
+
+
+class TestFeedRateDithering:
+    def test_feeds_jittered_geometry_kept(self):
+        prog = single_motor_program("X", 10, seed=0)
+        defended = FeedRateDithering(0.3).apply_program(prog, rng())
+        assert len(defended) == len(prog)
+        changed = 0
+        for a, b in zip(prog, defended):
+            assert a.code == b.code
+            for axis in ("X", "Y", "Z"):
+                assert a.params.get(axis) == b.params.get(axis)
+            if a.is_motion and "F" in a.params:
+                ratio = b.params["F"] / a.params["F"]
+                assert 0.7 <= ratio <= 1.3
+                changed += ratio != 1.0
+        assert changed > 0
+
+    def test_audio_untouched(self):
+        x = rng().normal(size=100)
+        out = FeedRateDithering(0.2).apply_audio(x, 12000.0, rng())
+        np.testing.assert_array_equal(out, x)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FeedRateDithering(0.0)
+        with pytest.raises(ConfigurationError):
+            FeedRateDithering(1.0)
+
+
+class TestCombinedDefense:
+    def test_applies_both(self):
+        prog = single_motor_program("X", 5, seed=0)
+        combined = CombinedDefense(
+            [FeedRateDithering(0.3), AcousticMasking(level=0.3)]
+        )
+        defended_prog = combined.apply_program(prog, rng())
+        feeds_a = [c.params.get("F") for c in prog.motion_commands()]
+        feeds_b = [c.params.get("F") for c in defended_prog.motion_commands()]
+        assert feeds_a != feeds_b
+        silence = np.zeros(1200)
+        out = combined.apply_audio(silence, 12000.0, rng())
+        assert np.std(out) > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CombinedDefense([])
+
+
+class TestRecordDefended:
+    def test_dataset_shape_and_blur(self):
+        printer = Printer3D(sample_rate=12000.0, seed=1)
+        programs = calibration_suite(6, seed=1)
+        extractor = FrequencyFeatureExtractor(12000.0, n_bins=30)
+        encoder = SingleMotorEncoder()
+        baseline = record_defended_dataset(
+            printer, programs, extractor, encoder, Defense(), seed=2
+        )
+        extractor2 = FrequencyFeatureExtractor(12000.0, n_bins=30)
+        defended = record_defended_dataset(
+            printer,
+            programs,
+            extractor2,
+            encoder,
+            AcousticMasking(level=3.0),
+            seed=2,
+        )
+        assert defended.feature_dim == baseline.feature_dim
+        assert len(defended.unique_conditions()) == 3
+
+
+class TestDefenseReport:
+    def test_derived_metrics(self):
+        report = DefenseReport(
+            defense_name="d",
+            baseline_accuracy=0.8,
+            defended_accuracy=0.5,
+            baseline_mi=1.0,
+            defended_mi=0.4,
+        )
+        assert report.accuracy_reduction == pytest.approx(0.3)
+        assert report.mi_reduction_bits == pytest.approx(0.6)
+        assert "0.800 -> 0.500" in report.summary()

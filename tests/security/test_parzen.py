@@ -1,0 +1,115 @@
+"""Tests for repro.security.parzen."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, DataError, NotFittedError, ShapeError
+from repro.security.parzen import ParzenWindow, silverman_bandwidth
+
+
+class TestFit:
+    def test_rejects_bad_h(self):
+        with pytest.raises(ConfigurationError):
+            ParzenWindow(0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            ParzenWindow(0.2).score_samples([0.5])
+
+    def test_1d_samples(self):
+        pw = ParzenWindow(0.2).fit([0.0, 1.0, 2.0])
+        assert pw.n_kernels == 3
+        assert pw.dim == 1
+
+    def test_2d_samples(self):
+        pw = ParzenWindow(0.2).fit(np.zeros((5, 3)))
+        assert pw.dim == 3
+
+    def test_dim_mismatch_raises(self):
+        pw = ParzenWindow(0.2).fit(np.zeros((5, 3)))
+        with pytest.raises(ShapeError):
+            pw.score_samples(np.zeros((2, 2)))
+
+
+class TestDensity:
+    def test_single_kernel_is_gaussian(self):
+        h = 0.3
+        pw = ParzenWindow(h).fit([0.0])
+        x = np.array([0.0, h, 2 * h])
+        expected = np.exp(-0.5 * (x / h) ** 2) / (h * np.sqrt(2 * np.pi))
+        np.testing.assert_allclose(pw.density(x), expected, rtol=1e-10)
+
+    def test_density_integrates_to_one(self):
+        pw = ParzenWindow(0.25).fit([0.2, 0.5, 0.9])
+        grid = np.linspace(-3, 4, 4001)
+        integral = np.trapezoid(pw.density(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5), min_size=1, max_size=8
+        ),
+        st.floats(min_value=0.05, max_value=1.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_density_normalization_property(self, samples, h):
+        pw = ParzenWindow(h).fit(samples)
+        grid = np.linspace(min(samples) - 6 * h, max(samples) + 6 * h, 3001)
+        integral = np.trapezoid(pw.density(grid), grid)
+        assert integral == pytest.approx(1.0, abs=5e-3)
+
+    def test_score_is_log_density(self):
+        pw = ParzenWindow(0.4).fit([1.0, 2.0])
+        x = np.array([1.5])
+        assert pw.score(x) == pytest.approx(float(np.log(pw.density(x)[0])))
+
+    def test_likelihood_scaling(self):
+        # Paper's Line 10: Like = exp(LogLike) * h.
+        h = 0.2
+        pw = ParzenWindow(h).fit([0.5])
+        like = pw.likelihood(np.array([0.5]))
+        assert like[0] == pytest.approx(h / (h * np.sqrt(2 * np.pi)))
+
+    def test_far_points_no_underflow_to_nan(self):
+        pw = ParzenWindow(0.1).fit([0.0])
+        scores = pw.score_samples(np.array([100.0]))
+        assert np.isfinite(scores[0]) or scores[0] == -np.inf
+
+    def test_density_higher_near_data(self):
+        pw = ParzenWindow(0.2).fit([0.3, 0.35, 0.4])
+        assert pw.density([0.35])[0] > pw.density([0.9])[0]
+
+
+class TestSample:
+    def test_shape(self):
+        pw = ParzenWindow(0.1).fit(np.zeros((10, 2)))
+        out = pw.sample(20, seed=0)
+        assert out.shape == (20, 2)
+
+    def test_distribution_near_kernels(self):
+        pw = ParzenWindow(0.05).fit([0.0, 10.0])
+        draws = pw.sample(1000, seed=0).ravel()
+        near_any = (np.abs(draws) < 1) | (np.abs(draws - 10) < 1)
+        assert near_any.mean() > 0.99
+
+    def test_rejects_bad_count(self):
+        pw = ParzenWindow(0.1).fit([0.0])
+        with pytest.raises(ConfigurationError):
+            pw.sample(0)
+
+
+class TestSilverman:
+    def test_scales_with_spread(self):
+        rng = np.random.default_rng(0)
+        tight = silverman_bandwidth(rng.normal(0, 0.1, 200))
+        wide = silverman_bandwidth(rng.normal(0, 10.0, 200))
+        assert wide > 20 * tight
+
+    def test_requires_two_samples(self):
+        with pytest.raises(DataError):
+            silverman_bandwidth([1.0])
+
+    def test_degenerate_data(self):
+        bw = silverman_bandwidth(np.ones(50))
+        assert bw > 0

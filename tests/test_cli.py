@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_record_args(self):
+        args = build_parser().parse_args(
+            ["record", "--out", "x.npz", "--moves", "10", "--seed", "3"]
+        )
+        assert args.moves == 10
+        assert args.seed == 3
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGraphCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "13 nodes" in out
+        assert "F1:" in out
+
+    def test_dot_flag(self, capsys):
+        assert main(["graph", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestPipelineCommands:
+    @pytest.fixture(scope="class")
+    def workdir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli")
+
+    def test_record_train_analyze_table1(self, workdir, capsys):
+        ds = workdir / "ds.npz"
+        model = workdir / "model"
+        assert main(
+            ["record", "--out", str(ds), "--moves", "8", "--seed", "1",
+             "--bins", "40"]
+        ) == 0
+        assert ds.exists()
+
+        assert main(
+            ["train", "--dataset", str(ds), "--out", str(model),
+             "--iterations", "120", "--seed", "1"]
+        ) == 0
+        assert (model / "cgan.json").exists()
+        out = capsys.readouterr().out
+        assert "final losses" in out
+
+        assert main(
+            ["analyze", "--dataset", str(ds), "--model", str(model),
+             "--g-size", "60", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT" in out
+
+        assert main(
+            ["table1", "--dataset", str(ds), "--model", str(model),
+             "--g-size", "60", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "h=0.2 Cor" in out
+
+
+class TestDetectCommand:
+    def test_detect_reports_roc(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        model = tmp_path / "model"
+        assert main(
+            ["record", "--out", str(ds), "--moves", "8", "--seed", "2",
+             "--bins", "40"]
+        ) == 0
+        assert main(
+            ["train", "--dataset", str(ds), "--out", str(model),
+             "--iterations", "150", "--seed", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["detect", "--dataset", str(ds), "--model", str(model),
+             "--g-size", "60", "--seed", "2", "--top-features", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "AUC" in out
+        assert "FPR budget" in out
+
+
+class TestExperimentCommand:
+    def test_experiment_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "exp"
+        assert main(
+            ["experiment", "--out", str(out), "--moves", "6",
+             "--iterations", "80", "--seed", "4"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "attack_accuracy" in text
+        assert (out / "summary.json").exists()
+        assert (out / "report.txt").exists()

@@ -1,0 +1,42 @@
+"""Smoke checks on the example scripts.
+
+Each example guards its work behind ``if __name__ == "__main__"``, so
+importing the module executes only definitions — verifying that every
+example's imports and top-level code stay in sync with the library API
+without paying for full runs in the unit-test suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "side_channel_attack",
+        "attack_detection",
+        "defense_evaluation",
+        "attack_surface_audit",
+        "cross_subsystem_analysis",
+        "gcode_playground",
+        "multi_emission_analysis",
+    } <= names

@@ -1,0 +1,44 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import ascii_histogram, ascii_line_plot
+
+
+class TestLinePlot:
+    def test_contains_series_glyphs_and_legend(self):
+        out = ascii_line_plot({"g_loss": [3, 2, 1], "d_loss": [1, 2, 3]})
+        assert "legend:" in out
+        assert "g_loss" in out and "d_loss" in out
+
+    def test_title_and_labels(self):
+        out = ascii_line_plot({"a": [0, 1]}, title="T", xlabel="iter", ylabel="loss")
+        assert out.splitlines()[0] == "T"
+        assert "iter" in out
+        assert "loss" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_line_plot({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({})
+
+    def test_dimensions(self):
+        out = ascii_line_plot({"a": np.arange(50)}, width=30, height=5)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = np.random.default_rng(0).normal(size=200)
+        out = ascii_histogram(values, bins=10)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 200
+
+    def test_title(self):
+        out = ascii_histogram([1.0, 2.0], title="H")
+        assert out.splitlines()[0] == "H"

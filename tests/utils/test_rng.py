@@ -1,0 +1,52 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_rng(5).random(4)
+        b = as_rng(5).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        out = as_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_deterministic_from_int(self):
+        a1, b1 = spawn_rngs(7, 2)
+        a2, b2 = spawn_rngs(7, 2)
+        np.testing.assert_array_equal(a1.random(4), a2.random(4))
+        np.testing.assert_array_equal(b1.random(4), b2.random(4))
+
+    def test_from_generator(self):
+        parent = np.random.default_rng(1)
+        kids = spawn_rngs(parent, 3)
+        assert len(kids) == 3
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_grouped_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table([["a", 1.5], ["bb", 2.25]], ["name", "value"])
+        lines = out.splitlines()
+        assert lines[1].startswith("|")
+        assert "1.5000" in out
+        assert "2.2500" in out
+
+    def test_title(self):
+        out = format_table([[1.0]], ["x"], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table([[1, 2]], ["only-one"])
+
+    def test_float_fmt(self):
+        out = format_table([[3.14159]], ["pi"], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.1416" not in out
+
+    def test_non_float_cells_passthrough(self):
+        out = format_table([[42, "text"]], ["n", "s"])
+        assert "42" in out and "text" in out
+
+    def test_alignment(self):
+        out = format_table([["x", 1.0], ["longer", 2.0]], ["a", "b"])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # All rows equal width.
+
+
+class TestGroupedTable:
+    def test_table1_shape(self):
+        values = [
+            [[0.6, 0.22], [0.6, 0.32]],
+            [[0.57, 0.38], [0.57, 0.39]],
+        ]
+        out = format_grouped_table(
+            ["Cond1", "Cond2"],
+            ["h=0.2", "h=0.4"],
+            ["Cor", "Inc"],
+            values,
+        )
+        assert "h=0.2 Cor" in out
+        assert "h=0.4 Inc" in out
+        assert "Cond2" in out
+
+    def test_bad_group_width(self):
+        with pytest.raises(ValueError, match="expected"):
+            format_grouped_table(["r"], ["g"], ["a", "b"], [[[1.0]]])
