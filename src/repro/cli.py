@@ -81,12 +81,36 @@ def _cmd_train(args) -> int:
         f"training CGAN on {len(train)} samples "
         f"({args.iterations} iterations, batch {args.batch_size}) ..."
     )
+    progress = None
+    trace_writer = None
+    if args.trace:
+        from repro.runtime.events import EpochProgress
+        from repro.runtime.reporters import JsonlTraceWriter
+
+        trace_writer = JsonlTraceWriter(args.trace)
+
+        def progress(iteration, total, d_loss, g_loss):
+            trace_writer.handle(
+                EpochProgress(
+                    pair=dataset.name,
+                    iteration=iteration,
+                    total_iterations=total,
+                    d_loss=d_loss,
+                    g_loss=g_loss,
+                )
+            )
+
     cgan.train(
         train,
         iterations=args.iterations,
         batch_size=args.batch_size,
         k_disc=args.k_disc,
+        progress=progress,
+        progress_every=max(1, args.iterations // 20) if args.trace else 0,
     )
+    if trace_writer is not None:
+        trace_writer.close()
+        print(f"training trace ({trace_writer.events_written} events) -> {args.trace}")
     final = cgan.history.final()
     print(
         f"final losses: D={final['d_loss']:.3f} G={final['g_loss']:.3f} "
@@ -184,6 +208,8 @@ def _cmd_detect(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro.pipeline.experiment import ExperimentConfig, run_experiment
+    from repro.runtime.events import EventBus
+    from repro.runtime.reporters import ConsoleProgressReporter
 
     if args.config:
         config = ExperimentConfig.from_json(args.config)
@@ -192,8 +218,14 @@ def _cmd_experiment(args) -> int:
             seed=args.seed,
             n_moves_per_axis=args.moves,
             iterations=args.iterations,
+            workers=args.workers,
+            executor=args.executor,
+            trace=args.trace,
         )
-    result = run_experiment(config, args.out)
+    bus = EventBus()
+    if args.progress:
+        bus.subscribe(ConsoleProgressReporter(show_epochs=False).handle)
+    result = run_experiment(config, args.out, bus=bus)
     print(f"experiment artifacts written to {result.directory}")
     for key, value in result.summary.items():
         print(f"  {key}: {value}")
@@ -227,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k-disc", type=int, default=1)
     p.add_argument("--test-fraction", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", help="write an EpochProgress JSONL trace here")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("analyze", help="print the security report")
@@ -247,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--moves", type=int, default=30)
     p.add_argument("--iterations", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel pair-training workers")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   help="pair-training executor (default: by worker count)")
+    p.add_argument("--trace", action="store_true",
+                   help="write training events to <out>/trace.jsonl")
+    p.add_argument("--progress", action="store_true",
+                   help="print live training progress to stderr")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

@@ -40,3 +40,32 @@ class ArchitectureError(GanSecError):
 
 class SerializationError(GanSecError):
     """A model or dataset could not be saved or loaded."""
+
+
+class PairTrainingError(GanSecError):
+    """One or more flow pairs failed to train in a batch.
+
+    Raised by :meth:`repro.pipeline.gansec.GANSec.train_models` *after*
+    every pair has been attempted: failures are isolated per pair, the
+    successfully trained models are kept on the pipeline, and this
+    exception aggregates what went wrong.
+
+    Attributes
+    ----------
+    failures:
+        Mapping of failed pair key -> formatted error/traceback string.
+    completed:
+        Keys of the pairs that trained successfully in the same batch.
+    """
+
+    def __init__(self, failures: dict, completed=()):
+        self.failures = dict(failures)
+        self.completed = list(completed)
+        lines = [
+            f"{len(self.failures)} of "
+            f"{len(self.failures) + len(self.completed)} flow pairs failed to train:"
+        ]
+        for key, err in self.failures.items():
+            first_line = str(err).strip().splitlines()[-1] if str(err).strip() else str(err)
+            lines.append(f"  {key}: {first_line}")
+        super().__init__("\n".join(lines))

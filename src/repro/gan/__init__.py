@@ -13,8 +13,8 @@ from repro.gan.evaluation import (
 )
 
 __all__ = [
-    "GAN",
     "ConditionalGAN",
+    "GAN",
     "GaussianNoise",
     "NoisePrior",
     "TrainingHistory",
@@ -27,6 +27,6 @@ __all__ = [
     "feature_moment_gap",
     "get_noise_prior",
     "load_cgan",
-    "save_cgan",
     "per_condition_sample_spread",
+    "save_cgan",
 ]

@@ -221,6 +221,8 @@ class ConditionalGAN:
         data_fraction=None,
         snapshot_every: int | None = None,
         seed=None,
+        progress=None,
+        progress_every: int = 0,
     ) -> TrainingHistory:
         """Run Algorithm 2.
 
@@ -247,6 +249,13 @@ class ConditionalGAN:
             Figure 9 likelihood-vs-iteration analysis).
         seed:
             Optional override for the training RNG stream.
+        progress:
+            Optional callback ``progress(iteration, total, d_loss,
+            g_loss)`` invoked every *progress_every* iterations and on
+            the final one — the hook the runtime instrumentation layer
+            turns into :class:`~repro.runtime.events.EpochProgress`.
+        progress_every:
+            Callback cadence in iterations; 0 disables the callback.
         """
         if dataset.feature_dim != self.feature_dim:
             raise ConfigurationError(
@@ -264,6 +273,10 @@ class ConditionalGAN:
         if not 0.0 <= label_smoothing < 0.5:
             raise ConfigurationError(
                 f"label_smoothing must be in [0, 0.5), got {label_smoothing}"
+            )
+        if progress_every < 0:
+            raise ConfigurationError(
+                f"progress_every must be >= 0, got {progress_every}"
             )
         if seed is not None:
             self._train_rng = as_rng(seed)
@@ -300,6 +313,10 @@ class ConditionalGAN:
                 self.snapshots.append(
                     (self.trained_iterations, self.generator.clone())
                 )
+            if progress is not None and progress_every and (
+                (it + 1) % progress_every == 0 or it + 1 == iterations
+            ):
+                progress(it + 1, iterations, float(d_loss), float(g_loss))
         return self.history
 
     # -- introspection ---------------------------------------------------------

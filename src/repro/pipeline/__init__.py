@@ -1,8 +1,17 @@
 """End-to-end GAN-Sec pipeline (the Figure 4 automatic model-generation
 method): Algorithm 1 → Algorithm 2 per flow pair → Algorithm 3 reports.
+
+Training fans out over the :mod:`repro.runtime` executors; pair
+identities are :class:`~repro.pipeline.pairs.FlowPairKey` values (plain
+tuples still work everywhere but are deprecated).
 """
 
 from repro.pipeline.config import AnalysisConfig, CGANConfig, GANSecConfig
+from repro.pipeline.pairs import (
+    FlowPairKey,
+    PairDataRegistry,
+    as_pair_key,
+)
 from repro.pipeline.gansec import GANSec, PairModel
 from repro.pipeline.experiment import (
     ExperimentConfig,
@@ -15,8 +24,11 @@ __all__ = [
     "CGANConfig",
     "ExperimentConfig",
     "ExperimentResult",
+    "FlowPairKey",
     "GANSec",
     "GANSecConfig",
+    "PairDataRegistry",
     "PairModel",
+    "as_pair_key",
     "run_experiment",
 ]

@@ -54,8 +54,37 @@ class AnalysisConfig:
 
 @dataclass
 class GANSecConfig:
-    """Top-level pipeline configuration."""
+    """Top-level pipeline configuration.
+
+    ``workers`` / ``executor`` select the pair-training runtime (see
+    :mod:`repro.runtime`): 1 worker runs serially; more workers default
+    to the process executor unless *executor* names another one
+    (``"serial"`` / ``"thread"`` / ``"process"``).  ``progress_every``
+    sets the cadence (in Algorithm 2 iterations) of
+    :class:`~repro.runtime.events.EpochProgress` events; 0 disables
+    them.
+    """
 
     cgan: CGANConfig = field(default_factory=CGANConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     seed: int | None = None
+    workers: int = 1
+    executor: str | None = None
+    progress_every: int = 0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.progress_every < 0:
+            raise ConfigurationError(
+                f"progress_every must be >= 0, got {self.progress_every}"
+            )
+        if self.executor is not None and self.executor not in (
+            "serial",
+            "thread",
+            "process",
+        ):
+            raise ConfigurationError(
+                "executor must be None, 'serial', 'thread', or 'process', "
+                f"got {self.executor!r}"
+            )

@@ -36,6 +36,7 @@ from repro.manufacturing.architecture import (
 from repro.manufacturing.traces import record_case_study_dataset
 from repro.pipeline.config import AnalysisConfig, CGANConfig
 from repro.pipeline.gansec import GANSec, GANSecConfig
+from repro.pipeline.pairs import FlowPairKey
 
 
 @dataclass
@@ -54,10 +55,15 @@ class ExperimentConfig:
     h: float = 0.2
     g_size: int = 200
     test_fraction: float = 0.25
+    workers: int = 1
+    executor: str | None = None
+    trace: bool = False
 
     def __post_init__(self):
         if not self.name:
             raise ConfigurationError("experiment name must be non-empty")
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         if self.emission_flow not in monitored_flow_names():
             raise ConfigurationError(
                 f"emission_flow must be one of {monitored_flow_names()[1:]}, "
@@ -82,11 +88,26 @@ class ExperimentResult:
         return (self.directory / "report.txt").read_text()
 
 
-def run_experiment(config: ExperimentConfig, out_dir) -> ExperimentResult:
-    """Execute the experiment described by *config* into *out_dir*."""
+def run_experiment(config: ExperimentConfig, out_dir, *, bus=None) -> ExperimentResult:
+    """Execute the experiment described by *config* into *out_dir*.
+
+    *bus* is an optional :class:`~repro.runtime.events.EventBus` for
+    live training instrumentation; when ``config.trace`` is set the
+    events are additionally written to ``<out_dir>/trace.jsonl``.
+    """
+    from repro.runtime.events import EventBus
+    from repro.runtime.reporters import JsonlTraceWriter
+
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / "config.json").write_text(json.dumps(asdict(config), indent=2))
+
+    if bus is None:
+        bus = EventBus()
+    trace_writer = None
+    if config.trace:
+        trace_writer = JsonlTraceWriter(out_dir / "trace.jsonl")
+        bus.subscribe(trace_writer.handle)
 
     # 1. Record.
     dataset, _extractor, _encoder, _runs = record_case_study_dataset(
@@ -117,10 +138,17 @@ def run_experiment(config: ExperimentConfig, out_dir) -> ExperimentResult:
                 test_fraction=config.test_fraction,
             ),
             seed=config.seed,
+            workers=config.workers,
+            executor=config.executor,
         ),
     )
-    pair = (config.emission_flow, GCODE_FLOW)
-    reports = pipeline.run({pair: dataset})
+    pair = FlowPairKey(config.emission_flow, GCODE_FLOW)
+    try:
+        reports = pipeline.run({pair: dataset}, bus=bus)
+    finally:
+        if trace_writer is not None:
+            bus.unsubscribe(trace_writer.handle)
+            trace_writer.close()
     report = reports[pair]
     model = pipeline.models[pair]
 

@@ -6,40 +6,77 @@
    turned into ``G_CPPS``, candidate flow pairs are extracted by DFS
    reachability, and pruned to the pairs covered by historical data.
 2. **CGAN model generation** (Algorithm 2): one conditional GAN is
-   trained per trainable flow pair from its aligned dataset.
+   trained per trainable flow pair from its aligned dataset.  Pairs are
+   independent, so training fans out over the :mod:`repro.runtime`
+   executors (``workers=`` / ``executor=``) with per-pair RNG streams
+   derived from the pipeline seed and pair key alone — parallel runs
+   are bitwise-identical to serial ones.  Per-pair failures are
+   isolated: every pair is attempted, successes are kept, and a single
+   :class:`~repro.errors.PairTrainingError` aggregates the failures.
 3. **Security analysis** (Algorithm 3 + attack models): likelihood
    metrics, side-channel leakage, and a designer-facing report per pair.
 
-The historical data is supplied as a mapping ``(F_i name, F_j name) ->
-FlowPairDataset`` — in the case study that single entry is the
-(acoustic features | G-code condition) dataset recorded from the
-simulated printer.
+The historical data is supplied as a
+:class:`~repro.pipeline.pairs.PairDataRegistry` (or, deprecated, a
+plain ``(F_i name, F_j name) -> FlowPairDataset`` dict) — in the case
+study that single entry is the (acoustic features | G-code condition)
+dataset recorded from the simulated printer.
 """
 
 from __future__ import annotations
 
+import re
+import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    PairTrainingError,
+)
 from repro.flows.dataset import FlowPairDataset
-from repro.gan.cgan import ConditionalGAN, default_generator
+from repro.gan.cgan import ConditionalGAN
 from repro.graph.architecture import CPPSArchitecture
 from repro.graph.builder import GraphGenerationResult, generate
-from repro.nn.layers import Dense
 from repro.pipeline.config import GANSecConfig
+from repro.pipeline.pairs import FlowPairKey, PairDataRegistry, as_pair_key
+from repro.runtime.events import (
+    EpochProgress,
+    EventBus,
+    PairFailed,
+    PairTrained,
+    TrainingFinished,
+    TrainingStarted,
+)
+from repro.runtime.executors import get_executor
+from repro.runtime.training import (
+    PairTrainingJob,
+    build_pair_cgan,
+    run_training_job,
+)
 from repro.security.report import SecurityReport, build_security_report
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, derive_rngs, fresh_entropy
+
+#: Pair-directory names that are safe to build from raw flow names; any
+#: other name goes through the indexed layout + manifest.json.
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9 .\-]*$")
+_MANIFEST_NAME = "manifest.json"
 
 
 @dataclass
 class PairModel:
     """A trained model + split data for one flow pair."""
 
-    pair_names: tuple
+    pair_names: FlowPairKey
     cgan: ConditionalGAN
     train_set: FlowPairDataset
     test_set: FlowPairDataset
     report: SecurityReport | None = None
+
+    @property
+    def key(self) -> FlowPairKey:
+        return self.pair_names
 
 
 class GANSec:
@@ -62,146 +99,273 @@ class GANSec:
         self.architecture = architecture
         self.config = config or GANSecConfig()
         self.graph_result: GraphGenerationResult | None = None
-        self.models: dict = {}
+        self.models: dict[FlowPairKey, PairModel] = {}
         self._rng = as_rng(self.config.seed)
+        # Root entropy for the schedule-independent per-pair seed
+        # fan-out (see repro.utils.rng.derive_rngs).
+        if isinstance(self.config.seed, int):
+            self._root_entropy = int(self.config.seed)
+        else:
+            self._root_entropy = fresh_entropy()
 
     # -- step 1: Algorithm 1 -----------------------------------------------------
-    def generate_graph(self, data: dict) -> GraphGenerationResult:
+    def generate_graph(self, data) -> GraphGenerationResult:
         """Run Algorithm 1 against the flows covered by *data*.
 
-        *data* maps ``(first_flow, second_flow)`` name tuples to
-        :class:`FlowPairDataset`; its keys define which flows have
+        *data* is a :class:`~repro.pipeline.pairs.PairDataRegistry`
+        (or legacy tuple-keyed dict); its keys define which flows have
         historical observations.
         """
-        available = set()
-        for first, second in data:
-            available.add(first)
-            available.add(second)
-        self.graph_result = generate(self.architecture, available)
+        registry = PairDataRegistry.coerce(data)
+        self.graph_result = generate(self.architecture, registry.flow_names())
         return self.graph_result
 
     # -- step 2: Algorithm 2 -----------------------------------------------------
     def _build_cgan(self, feature_dim: int, condition_dim: int, seed) -> ConditionalGAN:
-        cfg = self.config.cgan
-        gen_layers = default_generator(feature_dim, hidden=cfg.generator_hidden)
-        # default_discriminator has a fixed head; rebuild with config widths.
-        disc_layers = [
-            Dense(h, "leaky_relu", kernel_init="he_uniform")
-            for h in cfg.discriminator_hidden
-        ] + [Dense(1, "sigmoid")]
-        return ConditionalGAN(
-            feature_dim,
-            condition_dim,
-            noise_dim=cfg.noise_dim,
-            generator_layers=gen_layers,
-            discriminator_layers=disc_layers,
-            generator_loss=cfg.generator_loss,
-            learning_rate=cfg.learning_rate,
-            seed=seed,
-        )
+        return build_pair_cgan(self.config.cgan, feature_dim, condition_dim, seed)
 
-    def train_models(self, data: dict, *, pairs=None) -> dict:
+    def _trainable_name_pairs(self) -> set:
+        # The paper: "Each pair is then supplied to the CGAN to model
+        # Pr(F_i|F_j) or Pr(F_j|F_i)" — Algorithm 1 orders pairs causally,
+        # but either conditioning direction may be trained.
+        trainable = set()
+        for fp in self.graph_result.trainable_pairs:
+            trainable.add(fp.names)
+            trainable.add(fp.names[::-1])
+        return trainable
+
+    def train_models(
+        self,
+        data,
+        *,
+        pairs=None,
+        workers: int | None = None,
+        executor=None,
+        bus: EventBus | None = None,
+    ) -> dict[FlowPairKey, PairModel]:
         """Train one CGAN per covered flow pair (Algorithm 2).
 
         Parameters
         ----------
         data:
-            ``(F_i, F_j) name tuple -> FlowPairDataset``.
+            :class:`~repro.pipeline.pairs.PairDataRegistry` (or legacy
+            ``(F_i, F_j) name tuple -> FlowPairDataset`` dict).
         pairs:
-            Optional subset of name tuples to train; defaults to every
-            key of *data* that survived Algorithm 1's pruning.
+            Optional subset of pair keys to train; defaults to every
+            registered pair that survived Algorithm 1's pruning.
+        workers:
+            Worker count for the pair fan-out; defaults to
+            ``config.workers``.  Results are identical for any value.
+        executor:
+            ``"serial"`` / ``"thread"`` / ``"process"``, an
+            :class:`~repro.runtime.executors.Executor` instance, or
+            ``None`` to pick from ``config.executor`` / *workers*.
+        bus:
+            Optional :class:`~repro.runtime.events.EventBus` receiving
+            the structured training events.
 
-        Returns the mapping of pair names to :class:`PairModel`.
+        Returns the mapping of pair keys to :class:`PairModel`.
+
+        Raises
+        ------
+        PairTrainingError
+            If one or more pairs failed during training.  Raised only
+            after every pair was attempted; successful models are kept
+            on :attr:`models`.
         """
+        registry = PairDataRegistry.coerce(data)
         if self.graph_result is None:
-            self.generate_graph(data)
-        # The paper: "Each pair is then supplied to the CGAN to model
-        # Pr(F_i|F_j) or Pr(F_j|F_i)" — Algorithm 1 orders pairs causally,
-        # but either conditioning direction may be trained.
-        trainable_names = set()
-        for fp in self.graph_result.trainable_pairs:
-            trainable_names.add(fp.names)
-            trainable_names.add(fp.names[::-1])
-        selected = pairs if pairs is not None else list(data.keys())
-        cfg = self.config
-        for names in selected:
-            names = tuple(names)
-            if names not in data:
-                raise DataError(f"no dataset supplied for pair {names}")
-            if names not in trainable_names:
+            self.generate_graph(registry)
+        trainable_names = self._trainable_name_pairs()
+        if pairs is not None:
+            selected = [as_pair_key(p) for p in pairs]
+        else:
+            selected = registry.keys()
+        for key in selected:
+            if key not in registry:
+                raise DataError(f"no dataset supplied for pair {key.as_tuple()}")
+            if key not in trainable_names:
                 raise ConfigurationError(
-                    f"pair {names} was pruned by Algorithm 1 (not reachable "
-                    "or not covered by data); cannot train"
+                    f"pair {key.as_tuple()} was pruned by Algorithm 1 (not "
+                    "reachable or not covered by data); cannot train"
                 )
-            dataset = data[names]
-            split_rng, train_rng, model_rng = spawn_rngs(self._rng, 3)
-            train_set, test_set = dataset.split(
-                cfg.analysis.test_fraction, seed=split_rng
+
+        cfg = self.config
+        if workers is None:
+            workers = cfg.workers
+        exec_obj = get_executor(
+            executor if executor is not None else cfg.executor, workers
+        )
+        bus = bus if bus is not None else EventBus()
+        jobs = [
+            PairTrainingJob(
+                key=key,
+                dataset=registry[key],
+                cgan=cfg.cgan,
+                test_fraction=cfg.analysis.test_fraction,
+                root_entropy=self._root_entropy,
+                index=i,
+                total=len(selected),
+                progress_every=cfg.progress_every or None,
             )
-            cgan = self._build_cgan(
-                dataset.feature_dim, dataset.condition_dim, model_rng
+            for i, key in enumerate(selected)
+        ]
+
+        start = time.perf_counter()
+        bus.emit(
+            TrainingStarted(
+                total_pairs=len(jobs),
+                executor=getattr(exec_obj, "name", type(exec_obj).__name__),
+                workers=getattr(exec_obj, "workers", 1),
             )
-            cgan.train(
-                train_set,
-                iterations=cfg.cgan.iterations,
-                batch_size=cfg.cgan.batch_size,
-                k_disc=cfg.cgan.k_disc,
-                label_smoothing=cfg.cgan.label_smoothing,
-                seed=train_rng,
+        )
+
+        def _emit_progress(pair, iteration, total, d_loss, g_loss):
+            bus.emit(
+                EpochProgress(
+                    pair=pair,
+                    iteration=iteration,
+                    total_iterations=total,
+                    d_loss=d_loss,
+                    g_loss=g_loss,
+                )
             )
-            self.models[names] = PairModel(
-                pair_names=names,
-                cgan=cgan,
-                train_set=train_set,
-                test_set=test_set,
+
+        if exec_obj.in_process:
+            def fn(job):
+                pair = str(job.key)
+                return run_training_job(
+                    job,
+                    emit=lambda it, tot, d, g: _emit_progress(pair, it, tot, d, g),
+                )
+        else:
+            # Jobs are shipped to worker processes: the mapped function
+            # must be picklable, and progress is replayed afterwards.
+            fn = run_training_job
+
+        outcomes = exec_obj.map_pairs(fn, jobs)
+
+        failures: dict = {}
+        completed: list = []
+        for job, outcome in zip(jobs, outcomes):
+            if not exec_obj.in_process:
+                for it, tot, d_loss, g_loss in outcome.progress:
+                    _emit_progress(str(job.key), it, tot, d_loss, g_loss)
+            if outcome.ok:
+                self.models[job.key] = PairModel(
+                    pair_names=job.key,
+                    cgan=outcome.cgan,
+                    train_set=outcome.train_set,
+                    test_set=outcome.test_set,
+                )
+                completed.append(job.key)
+                final = outcome.cgan.history.final()
+                bus.emit(
+                    PairTrained(
+                        pair=str(job.key),
+                        index=job.index,
+                        total_pairs=job.total,
+                        seconds=outcome.seconds,
+                        train_size=len(outcome.train_set),
+                        test_size=len(outcome.test_set),
+                        final_d_loss=float(final["d_loss"]),
+                        final_g_loss=float(final["g_loss"]),
+                    )
+                )
+            else:
+                failures[job.key] = outcome.error
+                bus.emit(
+                    PairFailed(
+                        pair=str(job.key),
+                        index=job.index,
+                        total_pairs=job.total,
+                        seconds=outcome.seconds,
+                        error=outcome.error,
+                    )
+                )
+        bus.emit(
+            TrainingFinished(
+                trained=len(completed),
+                failed=len(failures),
+                seconds=time.perf_counter() - start,
             )
+        )
+        if failures:
+            raise PairTrainingError(failures, completed=completed)
         return self.models
 
     # -- step 3: Algorithm 3 + reporting ------------------------------------------
-    def analyze(self, pair_names=None) -> dict:
+    def analyze(self, pair_names=None) -> dict[FlowPairKey, SecurityReport]:
         """Run the security analysis for trained pairs.
 
-        Returns ``pair names -> SecurityReport`` and caches each report
+        Returns ``pair key -> SecurityReport`` and caches each report
         on its :class:`PairModel`.
         """
         if not self.models:
             raise NotFittedError("train_models() must run before analyze()")
-        targets = (
-            [tuple(pair_names)] if pair_names is not None else list(self.models)
-        )
+        if pair_names is not None:
+            targets = [as_pair_key(pair_names, warn_on_tuple=False)]
+        else:
+            targets = list(self.models)
         cfg = self.config.analysis
-        reports = {}
-        for names in targets:
-            if names not in self.models:
-                raise DataError(f"pair {names} has no trained model")
-            model = self.models[names]
+        reports: dict[FlowPairKey, SecurityReport] = {}
+        for key in targets:
+            if key not in self.models:
+                raise DataError(f"pair {key.as_tuple()} has no trained model")
+            model = self.models[key]
+            # One schedule-independent stream per pair, like training.
+            (report_rng,) = derive_rngs(
+                self._root_entropy, ("analyze", key.first, key.second), 1
+            )
             report = build_security_report(
                 model.cgan,
                 model.test_set,
-                pair_name=f"({names[0]} | {names[1]})",
+                pair_name=key.label(),
                 h=cfg.h,
                 g_size=cfg.g_size,
                 feature_indices=cfg.feature_indices,
-                seed=self._rng,
+                seed=report_rng,
             )
             model.report = report
-            reports[names] = report
+            reports[key] = report
         return reports
 
-    def run(self, data: dict) -> dict:
+    def run(
+        self,
+        data,
+        *,
+        workers: int | None = None,
+        executor=None,
+        bus: EventBus | None = None,
+    ) -> dict[FlowPairKey, SecurityReport]:
         """Convenience: graph → training → analysis in one call."""
         self.generate_graph(data)
-        self.train_models(data)
+        self.train_models(data, workers=workers, executor=executor, bus=bus)
         return self.analyze()
 
     # -- persistence ----------------------------------------------------------
+    @staticmethod
+    def _pair_dirname(index: int, key: FlowPairKey) -> str:
+        """Directory name for one pair: readable when safe, indexed otherwise.
+
+        Flow names containing ``__`` (the legacy separator), path
+        metacharacters, or anything else hostile get a neutral
+        ``pair_NNNN`` directory; identity always lives in the manifest.
+        """
+        if _SAFE_NAME.match(key.first) and _SAFE_NAME.match(key.second):
+            return f"{key.first}__{key.second}"
+        return f"pair_{index:04d}"
+
     def save(self, directory) -> "Path":
         """Persist all trained pair models (CGAN + splits) to *directory*.
 
-        Layout: one subdirectory per pair named ``<first>__<second>``
-        holding the CGAN (see :func:`repro.gan.serialization.save_cgan`)
-        and the train/test datasets.
+        Layout: one subdirectory per pair holding a ``manifest.json``
+        (the authoritative pair identity), the CGAN (see
+        :func:`repro.gan.serialization.save_cgan`), and the train/test
+        datasets.  Directory names are only cosmetic: hostile flow
+        names (e.g. containing ``__``) fall back to ``pair_NNNN``.
         """
+        import json
         from pathlib import Path
 
         from repro.flows.io import save_dataset
@@ -210,15 +374,28 @@ class GANSec:
         if not self.models:
             raise NotFittedError("nothing to save: train_models() first")
         directory = Path(directory)
-        for names, model in self.models.items():
-            pair_dir = directory / f"{names[0]}__{names[1]}"
+        for index, (key, model) in enumerate(self.models.items()):
+            pair_dir = directory / self._pair_dirname(index, key)
+            pair_dir.mkdir(parents=True, exist_ok=True)
+            (pair_dir / _MANIFEST_NAME).write_text(
+                json.dumps(
+                    {"version": 1, "first": key.first, "second": key.second},
+                    indent=2,
+                )
+            )
             save_cgan(model.cgan, pair_dir / "cgan")
             save_dataset(model.train_set, pair_dir / "train.npz")
             save_dataset(model.test_set, pair_dir / "test.npz")
         return directory
 
-    def load(self, directory) -> dict:
-        """Restore pair models saved by :meth:`save` into this pipeline."""
+    def load(self, directory) -> dict[FlowPairKey, PairModel]:
+        """Restore pair models saved by :meth:`save` into this pipeline.
+
+        Pair identity is read from each subdirectory's ``manifest.json``;
+        directories written by older versions (no manifest, names
+        encoded as ``<first>__<second>``) are still understood.
+        """
+        import json
         from pathlib import Path
 
         from repro.errors import SerializationError
@@ -228,14 +405,25 @@ class GANSec:
         directory = Path(directory)
         if not directory.is_dir():
             raise SerializationError(f"no such model directory: {directory}")
-        loaded = {}
+        loaded: dict[FlowPairKey, PairModel] = {}
         for pair_dir in sorted(p for p in directory.iterdir() if p.is_dir()):
-            if "__" not in pair_dir.name:
+            manifest_path = pair_dir / _MANIFEST_NAME
+            if manifest_path.exists():
+                try:
+                    manifest = json.loads(manifest_path.read_text())
+                    key = FlowPairKey(manifest["first"], manifest["second"])
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise SerializationError(
+                        f"corrupt pair manifest at {manifest_path}: {exc}"
+                    ) from exc
+            elif "__" in pair_dir.name:
+                # Legacy layout: identity encoded in the directory name.
+                first, second = pair_dir.name.split("__", 1)
+                key = FlowPairKey(first, second)
+            else:
                 continue
-            first, second = pair_dir.name.split("__", 1)
-            names = (first, second)
-            loaded[names] = PairModel(
-                pair_names=names,
+            loaded[key] = PairModel(
+                pair_names=key,
                 cgan=load_cgan(pair_dir / "cgan"),
                 train_set=load_dataset(pair_dir / "train.npz"),
                 test_set=load_dataset(pair_dir / "test.npz"),
@@ -251,10 +439,10 @@ class GANSec:
         if self.graph_result is not None:
             lines.append("  " + self.graph_result.summary())
         lines.append(f"  trained pairs: {len(self.models)}")
-        for names, model in self.models.items():
+        for key, model in self.models.items():
             status = "analyzed" if model.report else "trained"
             lines.append(
-                f"    {names}: {status}, train={len(model.train_set)}, "
+                f"    {key}: {status}, train={len(model.train_set)}, "
                 f"test={len(model.test_set)}"
             )
         return "\n".join(lines)

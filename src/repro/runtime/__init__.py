@@ -1,0 +1,63 @@
+"""Parallel pair-training runtime: executors, events, reporters.
+
+Algorithm 2 trains one independent CGAN per flow pair; this package
+supplies the machinery to fan that work out (serial / thread / process
+executors with a common ``map_pairs`` interface), keep it deterministic
+(per-pair RNG streams derived from the pipeline seed and pair key,
+independent of worker scheduling), and observe it (a thread-safe event
+bus with console and JSONL consumers).
+"""
+
+from repro.runtime.events import (
+    EpochProgress,
+    EventBus,
+    PairFailed,
+    PairTrained,
+    RuntimeEvent,
+    TrainingFinished,
+    TrainingStarted,
+)
+from repro.runtime.executors import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.runtime.reporters import (
+    ConsoleProgressReporter,
+    JsonlTraceWriter,
+    read_trace,
+)
+from repro.runtime.training import (
+    PairTrainingJob,
+    PairTrainingOutcome,
+    build_pair_cgan,
+    pair_rng_streams,
+    run_training_job,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "ConsoleProgressReporter",
+    "EpochProgress",
+    "EventBus",
+    "Executor",
+    "JsonlTraceWriter",
+    "PairFailed",
+    "PairTrained",
+    "PairTrainingJob",
+    "PairTrainingOutcome",
+    "ProcessExecutor",
+    "RuntimeEvent",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "TrainingFinished",
+    "TrainingStarted",
+    "build_pair_cgan",
+    "get_executor",
+    "pair_rng_streams",
+    "read_trace",
+    "run_training_job",
+]

@@ -1,0 +1,144 @@
+"""Structured training events and the in-process event bus.
+
+The pair-training runtime is instrumented through a tiny pub/sub layer:
+:class:`EventBus` fans each emitted event out to every subscriber.
+Events are frozen dataclasses carrying timings and loss figures, so
+consumers (the console progress reporter, the JSONL trace writer,
+tests) get structured data rather than log strings.
+
+Lifecycle of one :meth:`GANSec.train_models` batch::
+
+    TrainingStarted                      (once, batch-level)
+      EpochProgress*                     (per pair, every progress_every iters)
+      PairTrained | PairFailed           (once per pair)
+    TrainingFinished                     (once, batch-level)
+
+The bus is thread-safe: ``ThreadExecutor`` workers emit concurrently.
+Process-executor workers cannot reach the parent's bus, so their
+``EpochProgress`` rows are recorded in the job result and replayed by
+the parent before ``PairTrained`` is emitted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+
+def _now() -> float:
+    return time.time()
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """Base class for all instrumentation events."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass(frozen=True)
+class TrainingStarted(RuntimeEvent):
+    """A train_models batch began."""
+
+    total_pairs: int
+    executor: str
+    workers: int
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class EpochProgress(RuntimeEvent):
+    """Periodic progress inside one pair's Algorithm 2 loop."""
+
+    pair: str
+    iteration: int
+    total_iterations: int
+    d_loss: float
+    g_loss: float
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class PairTrained(RuntimeEvent):
+    """One flow pair finished training successfully."""
+
+    pair: str
+    index: int
+    total_pairs: int
+    seconds: float
+    train_size: int
+    test_size: int
+    final_d_loss: float
+    final_g_loss: float
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class PairFailed(RuntimeEvent):
+    """One flow pair raised during training (isolated, not fatal)."""
+
+    pair: str
+    index: int
+    total_pairs: int
+    seconds: float
+    error: str
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class TrainingFinished(RuntimeEvent):
+    """The batch completed (successfully or with isolated failures)."""
+
+    trained: int
+    failed: int
+    seconds: float
+    timestamp: float = field(default_factory=_now)
+
+
+class EventBus:
+    """Synchronous, thread-safe pub/sub for :class:`RuntimeEvent`.
+
+    Subscriber exceptions never abort training: they are captured on
+    :attr:`handler_errors` and emission continues.
+    """
+
+    def __init__(self):
+        self._handlers: list = []
+        self._lock = threading.RLock()
+        self.handler_errors: list = []
+
+    def subscribe(self, handler) -> None:
+        """Register ``handler(event)`` for every subsequent emission."""
+        if not callable(handler):
+            raise TypeError(f"event handler must be callable, got {handler!r}")
+        with self._lock:
+            self._handlers.append(handler)
+
+    def unsubscribe(self, handler) -> None:
+        with self._lock:
+            try:
+                self._handlers.remove(handler)
+            except ValueError:
+                pass
+
+    def emit(self, event: RuntimeEvent) -> None:
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            try:
+                handler(event)
+            except Exception as exc:  # noqa: BLE001 - reporters must not kill training
+                with self._lock:
+                    self.handler_errors.append((event, exc))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._handlers)

@@ -1,0 +1,120 @@
+"""Event consumers: console progress lines and JSONL traces.
+
+Both reporters are plain :class:`~repro.runtime.events.EventBus`
+subscribers — subscribe their :meth:`handle` method (or the object
+itself; both are callable) and every training event is rendered live.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.events import (
+    EpochProgress,
+    PairFailed,
+    PairTrained,
+    RuntimeEvent,
+    TrainingFinished,
+    TrainingStarted,
+)
+
+
+class ConsoleProgressReporter:
+    """Render training events as human-readable progress lines.
+
+    Parameters
+    ----------
+    stream:
+        Output file object (default ``sys.stderr``, keeping stdout free
+        for the actual report/table output).
+    show_epochs:
+        Whether per-iteration :class:`EpochProgress` lines are printed
+        (batch-level events always are).
+    """
+
+    def __init__(self, stream=None, *, show_epochs: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.show_epochs = show_epochs
+
+    def handle(self, event: RuntimeEvent) -> None:
+        line = self._format(event)
+        if line:
+            print(line, file=self.stream, flush=True)
+
+    __call__ = handle
+
+    def _format(self, event: RuntimeEvent) -> str | None:
+        if isinstance(event, TrainingStarted):
+            return (
+                f"training {event.total_pairs} flow pair(s) "
+                f"[{event.executor} executor, {event.workers} worker(s)]"
+            )
+        if isinstance(event, EpochProgress):
+            if not self.show_epochs:
+                return None
+            return (
+                f"  {event.pair}: iter {event.iteration}/{event.total_iterations} "
+                f"D={event.d_loss:.3f} G={event.g_loss:.3f}"
+            )
+        if isinstance(event, PairTrained):
+            return (
+                f"[{event.index + 1}/{event.total_pairs}] trained {event.pair} "
+                f"in {event.seconds:.2f}s (train={event.train_size}, "
+                f"test={event.test_size}, D={event.final_d_loss:.3f}, "
+                f"G={event.final_g_loss:.3f})"
+            )
+        if isinstance(event, PairFailed):
+            reason = event.error.strip().splitlines()[-1] if event.error else "?"
+            return (
+                f"[{event.index + 1}/{event.total_pairs}] FAILED {event.pair} "
+                f"after {event.seconds:.2f}s: {reason}"
+            )
+        if isinstance(event, TrainingFinished):
+            return (
+                f"done: {event.trained} trained, {event.failed} failed "
+                f"in {event.seconds:.2f}s"
+            )
+        return None
+
+
+class JsonlTraceWriter:
+    """Append every event as one JSON object per line (a JSONL trace).
+
+    Usable as a context manager; the file is opened lazily on the first
+    event so constructing the writer never touches the filesystem.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+        self.events_written = 0
+
+    def handle(self, event: RuntimeEvent) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    __call__ = handle
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def read_trace(path) -> list:
+    """Load a JSONL trace back into a list of event dicts."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

@@ -8,6 +8,8 @@ all three into a ``Generator`` so the rest of the code never has to care.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
@@ -45,4 +47,35 @@ def spawn_rngs(seed, n: int) -> list:
         seeds = seed.integers(0, 2**63 - 1, size=n)
         return [np.random.default_rng(int(s)) for s in seeds]
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def fresh_entropy() -> int:
+    """A 128-bit integer drawn from OS entropy (for unseeded pipelines)."""
+    return int(np.random.SeedSequence().entropy)
+
+
+def stable_entropy(*tokens) -> int:
+    """Hash *tokens* (stringified) into a stable 128-bit integer.
+
+    Unlike :func:`spawn_rngs` on a shared ``Generator``, the result does
+    not depend on call ordering — only on the token values — so it can
+    key per-work-item RNG streams that must match between serial and
+    parallel execution schedules.
+    """
+    material = "\x1f".join(str(t) for t in tokens).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:16], "little")
+
+
+def derive_rngs(root_entropy: int, tokens, n: int) -> list:
+    """Derive *n* generators from ``(root_entropy, tokens)`` only.
+
+    The derivation is a pure function of its arguments: any worker, in
+    any process, at any time, gets bitwise-identical streams for the
+    same ``(root, tokens)`` pair.  This is the seed fan-out used by the
+    parallel pair-training runtime (one token set per flow pair).
+    """
+    if n < 0:
+        raise ValueError(f"cannot derive a negative number of rngs: {n}")
+    seq = np.random.SeedSequence([int(root_entropy), stable_entropy(*tokens)])
     return [np.random.default_rng(child) for child in seq.spawn(n)]

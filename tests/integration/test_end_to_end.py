@@ -6,14 +6,8 @@ attack/detection analyses — asserting the *qualitative* results the
 paper reports (leakage above chance, Cor > Inc, detectable attacks).
 """
 
-import numpy as np
-import pytest
-
-from repro.dsp.features import FrequencyFeatureExtractor
-from repro.gan import ConditionalGAN
 from repro.graph import generate
 from repro.manufacturing import (
-    GCODE_FLOW,
     Printer3D,
     build_dataset,
     collect_segments,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import (
     ArchitectureError,
-    ConfigurationError,
     DataError,
     GCodeError,
 )

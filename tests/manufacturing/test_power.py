@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, DataError
+from repro.errors import ConfigurationError
 from repro.dsp.stft import power_spectrum
 from repro.manufacturing.gcode import GCodeProgram
 from repro.manufacturing.kinematics import MotionPlanner

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.manufacturing.gcode import GCodeProgram
 from repro.manufacturing.printer import Printer3D
 from repro.manufacturing.programs import single_motor_program
 

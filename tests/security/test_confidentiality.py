@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DataError, NotFittedError
-from repro.flows.dataset import FlowPairDataset
 from repro.gan.cgan import ConditionalGAN
 from repro.security.confidentiality import (
     SideChannelAttacker,

@@ -1,7 +1,5 @@
 """Tests for repro.security.report."""
 
-import numpy as np
-
 from repro.security.report import build_security_report
 
 
