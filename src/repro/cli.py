@@ -122,9 +122,23 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    from repro.security import security_analysis
+
     dataset = load_dataset(args.dataset)
     cgan = load_cgan(args.model)
     _train, test = dataset.split(args.test_fraction, seed=args.seed)
+    # The Algorithm 3 table goes through the parallel engine; the rest
+    # of the report (attacker, MI) runs serially as before.
+    likelihood = security_analysis(
+        cgan,
+        test,
+        h=args.h,
+        g_size=args.g_size,
+        root_entropy=args.seed,
+        pair=dataset.name,
+        workers=args.analysis_workers,
+        chunk_size=args.chunk_size,
+    )
     report = build_security_report(
         cgan,
         test,
@@ -132,6 +146,7 @@ def _cmd_analyze(args) -> int:
         h=args.h,
         g_size=args.g_size,
         seed=args.seed,
+        likelihood=likelihood,
     )
     print(report.to_text())
     return 0
@@ -220,6 +235,8 @@ def _cmd_experiment(args) -> int:
             iterations=args.iterations,
             workers=args.workers,
             executor=args.executor,
+            analysis_workers=args.analysis_workers,
+            chunk_size=args.chunk_size,
             trace=args.trace,
         )
     bus = EventBus()
@@ -269,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--g-size", type=int, default=200)
     p.add_argument("--test-fraction", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--analysis-workers", type=int, default=1,
+                   help="parallel (pair, condition) analysis workers")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="test rows per Parzen scoring block "
+                        "(default: memory-budget derived)")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
@@ -284,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel pair-training workers")
     p.add_argument("--executor", choices=("serial", "thread", "process"),
                    help="pair-training executor (default: by worker count)")
+    p.add_argument("--analysis-workers", type=int, default=1,
+                   help="parallel (pair, condition) analysis workers")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="test rows per Parzen scoring block "
+                        "(default: memory-budget derived)")
     p.add_argument("--trace", action="store_true",
                    help="write training events to <out>/trace.jsonl")
     p.add_argument("--progress", action="store_true",

@@ -42,6 +42,31 @@ class SerializationError(GanSecError):
     """A model or dataset could not be saved or loaded."""
 
 
+class AnalysisError(GanSecError):
+    """One or more (pair, condition) security-analysis jobs failed.
+
+    Raised by the Algorithm 3 engine (:mod:`repro.security.engine`)
+    *after* every job has been attempted, mirroring
+    :class:`PairTrainingError`'s failure isolation for training.
+
+    Attributes
+    ----------
+    failures:
+        Mapping of ``(pair label, condition index)`` -> formatted
+        error/traceback string.
+    """
+
+    def __init__(self, failures: dict):
+        self.failures = dict(failures)
+        lines = [f"{len(self.failures)} analysis job(s) failed:"]
+        for (pair, cond_index), err in self.failures.items():
+            first_line = (
+                str(err).strip().splitlines()[-1] if str(err).strip() else str(err)
+            )
+            lines.append(f"  {pair} condition #{cond_index}: {first_line}")
+        super().__init__("\n".join(lines))
+
+
 class PairTrainingError(GanSecError):
     """One or more flow pairs failed to train in a batch.
 

@@ -36,12 +36,18 @@ class CGANConfig:
 
 @dataclass
 class AnalysisConfig:
-    """Parameters for the Algorithm 3 security analysis."""
+    """Parameters for the Algorithm 3 security analysis.
+
+    ``chunk_size`` bounds how many test rows each blocked Parzen
+    scoring pass materializes (``None`` = derived from the default
+    memory budget); it never changes the numbers, only the footprint.
+    """
 
     h: float = 0.2
     g_size: int = 200
     test_fraction: float = 0.25
     feature_indices: tuple | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self):
         if self.h <= 0:
@@ -50,6 +56,10 @@ class AnalysisConfig:
             raise ConfigurationError("g_size must be > 0")
         if not 0.0 < self.test_fraction < 1.0:
             raise ConfigurationError("test_fraction must be in (0, 1)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
 
 
 @dataclass
@@ -59,7 +69,10 @@ class GANSecConfig:
     ``workers`` / ``executor`` select the pair-training runtime (see
     :mod:`repro.runtime`): 1 worker runs serially; more workers default
     to the process executor unless *executor* names another one
-    (``"serial"`` / ``"thread"`` / ``"process"``).  ``progress_every``
+    (``"serial"`` / ``"thread"`` / ``"process"``).  ``analysis_workers``
+    does the same for the Algorithm 3 security-analysis fan-out
+    (per-(pair, condition) jobs); both stages produce results that are
+    bitwise-independent of the worker count.  ``progress_every``
     sets the cadence (in Algorithm 2 iterations) of
     :class:`~repro.runtime.events.EpochProgress` events; 0 disables
     them.
@@ -70,11 +83,16 @@ class GANSecConfig:
     seed: int | None = None
     workers: int = 1
     executor: str | None = None
+    analysis_workers: int = 1
     progress_every: int = 0
 
     def __post_init__(self):
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.analysis_workers < 1:
+            raise ConfigurationError(
+                f"analysis_workers must be >= 1, got {self.analysis_workers}"
+            )
         if self.progress_every < 0:
             raise ConfigurationError(
                 f"progress_every must be >= 0, got {self.progress_every}"

@@ -57,6 +57,8 @@ class ExperimentConfig:
     test_fraction: float = 0.25
     workers: int = 1
     executor: str | None = None
+    analysis_workers: int = 1
+    chunk_size: int | None = None
     trace: bool = False
 
     def __post_init__(self):
@@ -64,6 +66,10 @@ class ExperimentConfig:
             raise ConfigurationError("experiment name must be non-empty")
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.analysis_workers < 1:
+            raise ConfigurationError(
+                f"analysis_workers must be >= 1, got {self.analysis_workers}"
+            )
         if self.emission_flow not in monitored_flow_names():
             raise ConfigurationError(
                 f"emission_flow must be one of {monitored_flow_names()[1:]}, "
@@ -136,10 +142,12 @@ def run_experiment(config: ExperimentConfig, out_dir, *, bus=None) -> Experiment
                 h=config.h,
                 g_size=config.g_size,
                 test_fraction=config.test_fraction,
+                chunk_size=config.chunk_size,
             ),
             seed=config.seed,
             workers=config.workers,
             executor=config.executor,
+            analysis_workers=config.analysis_workers,
         ),
     )
     pair = FlowPairKey(config.emission_flow, GCODE_FLOW)

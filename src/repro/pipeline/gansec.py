@@ -49,6 +49,7 @@ from repro.runtime.events import (
     TrainingFinished,
     TrainingStarted,
 )
+from repro.runtime.analysis import ConditionSampleCache
 from repro.runtime.executors import get_executor
 from repro.runtime.training import (
     PairTrainingJob,
@@ -107,6 +108,10 @@ class GANSec:
             self._root_entropy = int(self.config.seed)
         else:
             self._root_entropy = fresh_entropy()
+        # Generated-sample LRU shared across analyze() calls: repeated
+        # analyses (e.g. h sweeps) reuse each condition's draw because
+        # the cache key excludes the Parzen bandwidth.
+        self._sample_cache = ConditionSampleCache()
 
     # -- step 1: Algorithm 1 -----------------------------------------------------
     def generate_graph(self, data) -> GraphGenerationResult:
@@ -295,23 +300,85 @@ class GANSec:
         return self.models
 
     # -- step 3: Algorithm 3 + reporting ------------------------------------------
-    def analyze(self, pair_names=None) -> dict[FlowPairKey, SecurityReport]:
+    def analyze(
+        self,
+        pair_names=None,
+        *,
+        workers: int | None = None,
+        executor=None,
+        bus: EventBus | None = None,
+        chunk_size: int | None = None,
+    ) -> dict[FlowPairKey, SecurityReport]:
         """Run the security analysis for trained pairs.
+
+        The Algorithm 3 likelihood tables for every selected pair are
+        computed by the parallel engine
+        (:func:`repro.security.engine.run_security_analysis`): one job
+        per (pair, condition), fanned out over the same executors as
+        training, with blocked Parzen scoring and a generated-sample
+        cache that persists across repeated ``analyze()`` calls.  The
+        per-job RNG streams derive from the pipeline seed and the
+        (pair, condition) identity alone, so any *workers* / *executor*
+        choice yields bitwise-identical reports.
+
+        Parameters
+        ----------
+        workers:
+            Worker count for the analysis fan-out; defaults to
+            ``config.analysis_workers``.
+        executor:
+            ``"serial"`` / ``"thread"`` / ``"process"``, an executor
+            instance, or ``None`` to pick from *workers*.
+        bus:
+            Optional :class:`~repro.runtime.events.EventBus` receiving
+            ``AnalysisStarted`` / ``ConditionScored`` /
+            ``AnalysisCompleted`` events.
+        chunk_size:
+            Test rows per scoring block; defaults to
+            ``config.analysis.chunk_size`` (``None`` = memory-budget
+            derived).
 
         Returns ``pair key -> SecurityReport`` and caches each report
         on its :class:`PairModel`.
         """
+        from repro.security.engine import AnalysisTarget, run_security_analysis
+
         if not self.models:
             raise NotFittedError("train_models() must run before analyze()")
         if pair_names is not None:
-            targets = [as_pair_key(pair_names, warn_on_tuple=False)]
+            targets = [as_pair_key(pair_names)]
         else:
             targets = list(self.models)
         cfg = self.config.analysis
-        reports: dict[FlowPairKey, SecurityReport] = {}
         for key in targets:
             if key not in self.models:
                 raise DataError(f"pair {key.as_tuple()} has no trained model")
+        if workers is None:
+            workers = self.config.analysis_workers
+        if chunk_size is None:
+            chunk_size = cfg.chunk_size
+        likelihoods = run_security_analysis(
+            [
+                AnalysisTarget(
+                    key=key,
+                    sampler=self.models[key].cgan,
+                    test_set=self.models[key].test_set,
+                    feature_indices=cfg.feature_indices,
+                    label=str(key),
+                )
+                for key in targets
+            ],
+            h=cfg.h,
+            g_size=cfg.g_size,
+            root_entropy=self._root_entropy,
+            executor=executor,
+            workers=workers,
+            bus=bus,
+            chunk_size=chunk_size,
+            cache=self._sample_cache,
+        )
+        reports: dict[FlowPairKey, SecurityReport] = {}
+        for key in targets:
             model = self.models[key]
             # One schedule-independent stream per pair, like training.
             (report_rng,) = derive_rngs(
@@ -325,6 +392,7 @@ class GANSec:
                 g_size=cfg.g_size,
                 feature_indices=cfg.feature_indices,
                 seed=report_rng,
+                likelihood=likelihoods[key],
             )
             model.report = report
             reports[key] = report
@@ -337,11 +405,18 @@ class GANSec:
         workers: int | None = None,
         executor=None,
         bus: EventBus | None = None,
+        analysis_workers: int | None = None,
     ) -> dict[FlowPairKey, SecurityReport]:
-        """Convenience: graph → training → analysis in one call."""
+        """Convenience: graph → training → analysis in one call.
+
+        *workers* / *executor* drive the Algorithm 2 training fan-out;
+        *analysis_workers* (defaulting to ``config.analysis_workers``)
+        drives the Algorithm 3 fan-out.  The shared *bus* receives both
+        stages' events.
+        """
         self.generate_graph(data)
         self.train_models(data, workers=workers, executor=executor, bus=bus)
-        return self.analyze()
+        return self.analyze(workers=analysis_workers, executor=executor, bus=bus)
 
     # -- persistence ----------------------------------------------------------
     @staticmethod

@@ -1,14 +1,26 @@
-"""Parallel pair-training runtime: executors, events, reporters.
+"""Parallel runtime for pair training and security analysis.
 
-Algorithm 2 trains one independent CGAN per flow pair; this package
-supplies the machinery to fan that work out (serial / thread / process
-executors with a common ``map_pairs`` interface), keep it deterministic
-(per-pair RNG streams derived from the pipeline seed and pair key,
-independent of worker scheduling), and observe it (a thread-safe event
-bus with console and JSONL consumers).
+Algorithm 2 trains one independent CGAN per flow pair and Algorithm 3
+scores one independent Parzen table per (pair, condition); this package
+supplies the machinery to fan both out (serial / thread / process
+executors with a common ``map_pairs`` interface), keep them
+deterministic (per-work-item RNG streams derived from the pipeline seed
+and work-item identity, independent of worker scheduling), and observe
+them (a thread-safe event bus with console and JSONL consumers).
 """
 
+from repro.runtime.analysis import (
+    AnalysisJob,
+    AnalysisOutcome,
+    ConditionSampleCache,
+    analysis_rng,
+    condition_tokens,
+    run_analysis_job,
+)
 from repro.runtime.events import (
+    AnalysisCompleted,
+    AnalysisStarted,
+    ConditionScored,
     EpochProgress,
     EventBus,
     PairFailed,
@@ -40,6 +52,12 @@ from repro.runtime.training import (
 
 __all__ = [
     "EXECUTORS",
+    "AnalysisCompleted",
+    "AnalysisJob",
+    "AnalysisOutcome",
+    "AnalysisStarted",
+    "ConditionSampleCache",
+    "ConditionScored",
     "ConsoleProgressReporter",
     "EpochProgress",
     "EventBus",
@@ -55,9 +73,12 @@ __all__ = [
     "ThreadExecutor",
     "TrainingFinished",
     "TrainingStarted",
+    "analysis_rng",
     "build_pair_cgan",
+    "condition_tokens",
     "get_executor",
     "pair_rng_streams",
     "read_trace",
+    "run_analysis_job",
     "run_training_job",
 ]

@@ -13,6 +13,12 @@ Lifecycle of one :meth:`GANSec.train_models` batch::
       PairTrained | PairFailed           (once per pair)
     TrainingFinished                     (once, batch-level)
 
+Lifecycle of one :meth:`GANSec.analyze` batch (Algorithm 3)::
+
+    AnalysisStarted                      (once, batch-level)
+      ConditionScored*                   (once per (pair, condition) job)
+    AnalysisCompleted                    (once, batch-level)
+
 The bus is thread-safe: ``ThreadExecutor`` workers emit concurrently.
 Process-executor workers cannot reach the parent's bus, so their
 ``EpochProgress`` rows are recorded in the job result and replayed by
@@ -100,6 +106,42 @@ class TrainingFinished(RuntimeEvent):
     trained: int
     failed: int
     seconds: float
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class AnalysisStarted(RuntimeEvent):
+    """A security-analysis batch (Algorithm 3) began."""
+
+    total_pairs: int
+    total_conditions: int
+    executor: str
+    workers: int
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class ConditionScored(RuntimeEvent):
+    """One (pair, condition) scoring job of Algorithm 3 finished."""
+
+    pair: str
+    condition: tuple
+    index: int
+    total: int
+    n_features: int
+    seconds: float
+    cache_hit: bool
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class AnalysisCompleted(RuntimeEvent):
+    """The security-analysis batch completed."""
+
+    pairs: int
+    conditions: int
+    seconds: float
+    cache_hits: int
     timestamp: float = field(default_factory=_now)
 
 

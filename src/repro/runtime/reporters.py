@@ -12,6 +12,9 @@ import sys
 from pathlib import Path
 
 from repro.runtime.events import (
+    AnalysisCompleted,
+    AnalysisStarted,
+    ConditionScored,
     EpochProgress,
     PairFailed,
     PairTrained,
@@ -75,6 +78,25 @@ class ConsoleProgressReporter:
             return (
                 f"done: {event.trained} trained, {event.failed} failed "
                 f"in {event.seconds:.2f}s"
+            )
+        if isinstance(event, AnalysisStarted):
+            return (
+                f"analyzing {event.total_pairs} pair(s), "
+                f"{event.total_conditions} condition(s) "
+                f"[{event.executor} executor, {event.workers} worker(s)]"
+            )
+        if isinstance(event, ConditionScored):
+            cached = " (cached samples)" if event.cache_hit else ""
+            return (
+                f"  [{event.index + 1}/{event.total}] scored {event.pair} "
+                f"condition {list(event.condition)} over {event.n_features} "
+                f"feature(s) in {event.seconds:.2f}s{cached}"
+            )
+        if isinstance(event, AnalysisCompleted):
+            return (
+                f"analysis done: {event.pairs} pair(s), {event.conditions} "
+                f"condition(s) in {event.seconds:.2f}s "
+                f"({event.cache_hits} cache hit(s))"
             )
         return None
 

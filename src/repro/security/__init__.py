@@ -3,7 +3,17 @@ confidentiality attacks, integrity/availability attack detection, and
 mutual-information leakage metrics.
 """
 
-from repro.security.parzen import ParzenWindow, silverman_bandwidth
+from repro.security.parzen import (
+    ParzenWindow,
+    resolve_chunk_size,
+    silverman_bandwidth,
+)
+from repro.security.engine import (
+    AnalysisTarget,
+    run_security_analysis,
+    security_analysis,
+    security_analysis_h_sweep,
+)
 from repro.security.likelihood import (
     choose_analysis_feature,
     LikelihoodResult,
@@ -57,6 +67,7 @@ from repro.security.report import SecurityReport, build_security_report
 
 __all__ = [
     "AcousticMasking",
+    "AnalysisTarget",
     "CombinedDefense",
     "Defense",
     "DefenseReport",
@@ -89,8 +100,12 @@ __all__ = [
     "leakage_vs_training_data",
     "likelihood_h_sweep",
     "motor_stall_attack",
+    "resolve_chunk_size",
     "roc_auc",
     "roc_curve",
+    "run_security_analysis",
+    "security_analysis",
+    "security_analysis_h_sweep",
     "security_likelihood_analysis",
     "silverman_bandwidth",
     "viterbi_decode",

@@ -18,6 +18,39 @@ from repro.utils.validation import check_array
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
+#: Default memory budget (MiB) for the blocked score evaluation: the
+#: (chunk, n_kernels) distance block plus its temporaries stay within
+#: this footprint regardless of how many test points are scored.
+DEFAULT_MEMORY_BUDGET_MB = 64.0
+
+
+def resolve_chunk_size(
+    n_kernels: int,
+    dim: int,
+    *,
+    chunk_size: int | None = None,
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+) -> int:
+    """Number of test points scored per block of matrix work.
+
+    An explicit *chunk_size* wins; otherwise the chunk is sized so the
+    ``(chunk, n_kernels, dim)`` difference tensor and its ``(chunk,
+    n_kernels)`` reductions fit inside *memory_budget_mb* MiB of float64
+    temporaries.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        return int(chunk_size)
+    if memory_budget_mb <= 0:
+        raise ConfigurationError(
+            f"memory_budget_mb must be > 0, got {memory_budget_mb}"
+        )
+    # diffs (chunk*m*d) + squared-distance block and exp workspace
+    # (2 * chunk*m) doubles.
+    bytes_per_row = 8.0 * n_kernels * (dim + 2)
+    return max(1, int(memory_budget_mb * 2**20 / bytes_per_row))
+
 
 class ParzenWindow:
     """Gaussian-kernel density estimate over d-dimensional points.
@@ -63,12 +96,55 @@ class ParzenWindow:
         self._data = samples
         return self
 
-    def score_samples(self, x) -> np.ndarray:
-        """Per-row log density ``log p(x)``.
+    def _score_block(self, x: np.ndarray) -> np.ndarray:
+        """Log density of one pre-validated ``(rows, dim)`` block.
 
         Uses the log-sum-exp trick so tiny densities do not underflow to
-        ``-inf`` prematurely.
+        ``-inf`` prematurely.  Rows so far from every kernel that the
+        exponent itself overflows yield an exact ``-inf`` (density 0),
+        never ``nan``: the max-subtraction is skipped for rows whose
+        running maximum is already ``-inf``.
         """
+        # Scaled log kernel weights: (rows, n_kernels).  Overflow to inf
+        # is the correct saturation for astronomically distant points
+        # (their kernel weight is exactly 0), so the warning is silenced.
+        # d == 1 (every per-feature fit in Algorithm 3) broadcasts to the
+        # (rows, n_kernels) matrix directly, without the 3-D temporary.
+        scale = -0.5 / (self.h * self.h)
+        with np.errstate(over="ignore"):
+            if self.dim == 1:
+                diffs = x - self._data.T
+                log_kernel = (diffs * diffs) * scale
+            else:
+                diffs = x[:, None, :] - self._data[None, :, :]
+                log_kernel = np.sum(diffs * diffs, axis=2) * scale
+        # log p = logsumexp(log_kernel) - log(n) - d*log(h) - d/2*log(2pi)
+        m = log_kernel.max(axis=1, keepdims=True)
+        finite = np.isfinite(m)
+        if finite.all():
+            # Common path: no kernel saturated, plain log-sum-exp.
+            lse = m.ravel() + np.log(np.exp(log_kernel - m).sum(axis=1))
+        else:
+            # Guard: m == -inf means every kernel underflowed (x
+            # astronomically far away); -inf - -inf would poison the row
+            # with nan, so those rows are pinned to exactly -inf.
+            shifted = np.where(
+                finite, log_kernel - np.where(finite, m, 0.0), -np.inf
+            )
+            with np.errstate(divide="ignore"):
+                lse = np.where(
+                    finite.ravel(),
+                    m.ravel() + np.log(np.exp(shifted).sum(axis=1)),
+                    -np.inf,
+                )
+        return (
+            lse
+            - np.log(self.n_kernels)
+            - self.dim * np.log(self.h)
+            - 0.5 * self.dim * _LOG_2PI
+        )
+
+    def _validate_points(self, x) -> np.ndarray:
         self._require_fitted()
         x = check_array(x, "x", ndim=(1, 2))
         if x.ndim == 1:
@@ -77,36 +153,60 @@ class ParzenWindow:
             raise ShapeError(
                 f"x has {x.shape[1]} dims, ParzenWindow fitted on {self.dim}"
             )
-        # Squared distances: (n_x, n_kernels).
-        diffs = x[:, None, :] - self._data[None, :, :]
-        sq = np.sum(diffs * diffs, axis=2) / (self.h * self.h)
-        log_kernel = -0.5 * sq
-        # log p = logsumexp(log_kernel) - log(n) - d*log(h) - d/2*log(2pi)
-        m = log_kernel.max(axis=1, keepdims=True)
-        lse = m.ravel() + np.log(np.exp(log_kernel - m).sum(axis=1))
-        return (
-            lse
-            - np.log(self.n_kernels)
-            - self.dim * np.log(self.h)
-            - 0.5 * self.dim * _LOG_2PI
+        return x
+
+    def score_batch(
+        self,
+        x,
+        *,
+        chunk_size: int | None = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> np.ndarray:
+        """Per-row log density via blocked matrix operations.
+
+        Evaluates all test points against all kernels, *chunk_size* rows
+        at a time (derived from *memory_budget_mb* when not given), so
+        arbitrarily large test sets never materialize the full
+        ``(n_x, n_kernels, dim)`` tensor.  Each row's reduction runs
+        over every kernel regardless of blocking, so the result is
+        bitwise-identical for every chunk size.
+        """
+        x = self._validate_points(x)
+        chunk = resolve_chunk_size(
+            self.n_kernels,
+            self.dim,
+            chunk_size=chunk_size,
+            memory_budget_mb=memory_budget_mb,
         )
+        n = x.shape[0]
+        if n <= chunk:
+            return self._score_block(x)
+        out = np.empty(n)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            out[start:stop] = self._score_block(x[start:stop])
+        return out
+
+    def score_samples(self, x, *, chunk_size: int | None = None) -> np.ndarray:
+        """Per-row log density ``log p(x)`` (blocked; see :meth:`score_batch`)."""
+        return self.score_batch(x, chunk_size=chunk_size)
 
     def score(self, x) -> float:
         """Mean log density of *x* (a single point or a batch)."""
         return float(np.mean(self.score_samples(x)))
 
-    def density(self, x) -> np.ndarray:
+    def density(self, x, *, chunk_size: int | None = None) -> np.ndarray:
         """Per-row density ``p(x)``."""
-        return np.exp(self.score_samples(x))
+        return np.exp(self.score_batch(x, chunk_size=chunk_size))
 
-    def likelihood(self, x) -> np.ndarray:
+    def likelihood(self, x, *, chunk_size: int | None = None) -> np.ndarray:
         """The paper's scaled likelihood ``exp(score(x)) * h`` (Line 10).
 
         Multiplying the density by the window width converts it into a
         dimensionless per-window probability mass, which keeps Table I's
         values comparable across ``h``.
         """
-        return self.density(x) * (self.h ** self.dim)
+        return self.density(x, chunk_size=chunk_size) * (self.h ** self.dim)
 
     def sample(self, n: int, *, seed=None) -> np.ndarray:
         """Draw from the fitted mixture (kernel choice + Gaussian jitter)."""

@@ -91,6 +91,7 @@ def build_security_report(
     feature_indices=None,
     include_detection: bool = False,
     seed=None,
+    likelihood: LikelihoodResult | None = None,
 ) -> SecurityReport:
     """Run the full analysis suite for one trained CGAN + test set.
 
@@ -98,17 +99,23 @@ def build_security_report(
     use: an :class:`~repro.security.detection.EmissionAttackDetector`
     against an axis-swap integrity attack synthesized from the test set
     (needs at least two distinct conditions).
+
+    *likelihood* injects a precomputed Algorithm 3 result — the parallel
+    engine (:mod:`repro.security.engine`) computes the likelihood tables
+    for a whole batch of pairs in one fan-out and hands each pair's
+    table in here, so the report builder does not redo the scoring.
     """
     conditions = test_set.unique_conditions()
-    likelihood = security_likelihood_analysis(
-        cgan,
-        test_set,
-        conditions=conditions,
-        feature_indices=feature_indices,
-        h=h,
-        g_size=g_size,
-        seed=seed,
-    )
+    if likelihood is None:
+        likelihood = security_likelihood_analysis(
+            cgan,
+            test_set,
+            conditions=conditions,
+            feature_indices=feature_indices,
+            h=h,
+            g_size=g_size,
+            seed=seed,
+        )
     attacker = SideChannelAttacker(
         cgan,
         conditions,

@@ -5,7 +5,29 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError, DataError, NotFittedError, ShapeError
-from repro.security.parzen import ParzenWindow, silverman_bandwidth
+from repro.security.parzen import (
+    ParzenWindow,
+    resolve_chunk_size,
+    silverman_bandwidth,
+)
+
+
+def naive_log_density(kernels, x, h):
+    """O(n·m) reference: direct per-point log of the kernel mixture.
+
+    No log-sum-exp, no blocking — the textbook formula the vectorized
+    ``score_batch`` must reproduce.
+    """
+    kernels = np.atleast_2d(np.asarray(kernels, dtype=float).T).T
+    x = np.atleast_2d(np.asarray(x, dtype=float).T).T
+    n, d = kernels.shape
+    out = np.empty(x.shape[0])
+    norm = n * (h * np.sqrt(2 * np.pi)) ** d
+    with np.errstate(divide="ignore"):
+        for i, point in enumerate(x):
+            sq = np.sum((point - kernels) ** 2, axis=1) / (h * h)
+            out[i] = np.log(np.sum(np.exp(-0.5 * sq)) / norm)
+    return out
 
 
 class TestFit:
@@ -79,6 +101,130 @@ class TestDensity:
     def test_density_higher_near_data(self):
         pw = ParzenWindow(0.2).fit([0.3, 0.35, 0.4])
         assert pw.density([0.35])[0] > pw.density([0.9])[0]
+
+
+class TestBatchedScoring:
+    """score_batch: blocked evaluation, chunk invariance, stability."""
+
+    def test_chunk_size_bitwise_invariant(self):
+        rng = np.random.default_rng(3)
+        pw = ParzenWindow(0.3).fit(rng.normal(size=(40, 3)))
+        x = rng.normal(size=(101, 3))
+        reference = pw.score_batch(x, chunk_size=101)
+        for chunk in (1, 2, 7, 50, 100, 1000):
+            chunked = pw.score_batch(x, chunk_size=chunk)
+            assert np.array_equal(chunked, reference), f"chunk={chunk}"
+
+    def test_memory_budget_path_matches_explicit_chunk(self):
+        rng = np.random.default_rng(4)
+        pw = ParzenWindow(0.5).fit(rng.normal(size=(30, 2)))
+        x = rng.normal(size=(64, 2))
+        auto = pw.score_batch(x, memory_budget_mb=0.001)  # forces tiny chunks
+        assert np.array_equal(auto, pw.score_batch(x, chunk_size=64))
+
+    @given(
+        kernels=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=1, max_size=12
+        ),
+        points=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=1, max_size=12
+        ),
+        h=st.floats(min_value=0.05, max_value=2.0),
+        chunk=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_naive_reference(self, kernels, points, h, chunk):
+        pw = ParzenWindow(h).fit(kernels)
+        got = pw.score_batch(np.array(points), chunk_size=chunk)
+        want = naive_log_density(kernels, points, h)
+        # Where the naive exp() underflows to density 0, log-sum-exp
+        # keeps the true (very negative) value — only require that the
+        # stable path is at least as far in the tail as float64 allows.
+        finite = np.isfinite(want)
+        np.testing.assert_allclose(
+            got[finite], want[finite], atol=1e-10, rtol=1e-10
+        )
+        assert np.all(got[~finite] < np.log(np.finfo(float).tiny) + 1)
+
+    @given(
+        shift=st.floats(min_value=-50, max_value=50),
+        h=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, shift, h):
+        kernels = np.array([0.0, 0.7, 1.9, -2.2])
+        x = np.array([-1.0, 0.3, 2.5])
+        base = ParzenWindow(h).fit(kernels).score_batch(x)
+        moved = ParzenWindow(h).fit(kernels + shift).score_batch(x + shift)
+        np.testing.assert_allclose(moved, base, atol=1e-9)
+
+    @given(permutation=st.permutations(list(range(6))))
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_permutation_invariance(self, permutation):
+        rng = np.random.default_rng(11)
+        kernels = rng.normal(size=(6, 2))
+        x = rng.normal(size=(9, 2))
+        base = ParzenWindow(0.4).fit(kernels).score_batch(x)
+        shuffled = ParzenWindow(0.4).fit(kernels[permutation]).score_batch(x)
+        np.testing.assert_allclose(shuffled, base, atol=1e-12)
+
+    @given(
+        points=st.lists(
+            st.floats(min_value=-1e308, max_value=1e308), min_size=1, max_size=6
+        ),
+        h=st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_nan(self, points, h):
+        # Log-sum-exp stability: any finite input, however extreme,
+        # yields a real log density or exactly -inf — never nan.
+        pw = ParzenWindow(h).fit([0.0, 1.0])
+        scores = pw.score_batch(np.array(points))
+        assert not np.isnan(scores).any()
+
+    def test_far_point_is_exact_neg_inf(self):
+        # Regression: points whose exponent overflows used to become
+        # nan through the -inf - -inf max subtraction.
+        pw = ParzenWindow(0.1).fit([0.0])
+        scores = pw.score_batch(np.array([1e200, -1e308, 0.0]))
+        assert scores[0] == -np.inf
+        assert scores[1] == -np.inf
+        assert np.isfinite(scores[2])
+
+    def test_density_of_far_point_is_zero(self):
+        pw = ParzenWindow(0.2).fit([0.0, 1.0])
+        assert pw.density(np.array([1e300]))[0] == 0.0
+
+    def test_score_batch_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            ParzenWindow(0.2).score_batch([0.5])
+
+    def test_score_batch_shape_mismatch_raises(self):
+        pw = ParzenWindow(0.2).fit(np.zeros((4, 3)))
+        with pytest.raises(ShapeError):
+            pw.score_batch(np.zeros((2, 5)))
+
+
+class TestResolveChunkSize:
+    def test_explicit_wins(self):
+        assert resolve_chunk_size(1000, 10, chunk_size=7) == 7
+
+    def test_explicit_invalid_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_chunk_size(10, 1, chunk_size=0)
+
+    def test_bad_budget_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_chunk_size(10, 1, memory_budget_mb=0.0)
+
+    def test_budget_scales_chunk(self):
+        small = resolve_chunk_size(500, 4, memory_budget_mb=1.0)
+        large = resolve_chunk_size(500, 4, memory_budget_mb=64.0)
+        # Proportional up to integer truncation of each division.
+        assert 64 * small <= large <= 64 * (small + 1)
+
+    def test_at_least_one_row(self):
+        assert resolve_chunk_size(10**9, 10**3, memory_budget_mb=0.001) == 1
 
 
 class TestSample:
