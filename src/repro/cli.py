@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -45,12 +46,35 @@ from repro.security import (
 from repro.utils.tables import format_grouped_table
 
 
+def _profiled(args, func, profile_path) -> int:
+    """Run *func*; with ``--profile``, wrap it in cProfile and dump pstats.
+
+    The dump is readable with ``python -m pstats <path>`` (or
+    ``pstats.Stats(path)``) to find where an experiment or analysis run
+    spends its time.
+    """
+    if not getattr(args, "profile", False):
+        return func()
+    import cProfile
+
+    profile_path = Path(profile_path)
+    profile_path.parent.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    try:
+        rc = profiler.runcall(func)
+    finally:
+        profiler.dump_stats(profile_path)
+        print(f"profile (pstats) written -> {profile_path}")
+    return rc
+
+
 def _cmd_record(args) -> int:
     dataset, _extractor, _encoder, runs = record_case_study_dataset(
         n_moves_per_axis=args.moves,
         seed=args.seed,
         n_bins=args.bins,
         sample_rate=args.sample_rate,
+        feature_cache=args.feature_cache,
     )
     path = save_dataset(dataset, args.out)
     total = sum(len(r.segments) for r in runs)
@@ -122,6 +146,14 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    # Profile dump lands next to the model artifacts, the closest thing
+    # this read-only command has to an output directory.
+    return _profiled(
+        args, lambda: _run_analyze(args), Path(args.model) / "analyze_profile.pstats"
+    )
+
+
+def _run_analyze(args) -> int:
     from repro.security import security_analysis
 
     dataset = load_dataset(args.dataset)
@@ -222,6 +254,12 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    return _profiled(
+        args, lambda: _run_experiment(args), Path(args.out) / "profile.pstats"
+    )
+
+
+def _run_experiment(args) -> int:
     from repro.pipeline.experiment import ExperimentConfig, run_experiment
     from repro.runtime.events import EventBus
     from repro.runtime.reporters import ConsoleProgressReporter
@@ -238,6 +276,7 @@ def _cmd_experiment(args) -> int:
             analysis_workers=args.analysis_workers,
             chunk_size=args.chunk_size,
             trace=args.trace,
+            feature_cache=args.feature_cache,
         )
     bus = EventBus()
     if args.progress:
@@ -262,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=100, help="frequency bins")
     p.add_argument("--sample-rate", type=float, default=12000.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--feature-cache", metavar="DIR",
+                   help="on-disk raw-feature cache directory (reruns over "
+                        "identical audio skip CWT extraction)")
     p.set_defaults(func=_cmd_record)
 
     p = sub.add_parser("graph", help="run Algorithm 1 and print G_CPPS")
@@ -291,6 +333,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, default=None,
                    help="test rows per Parzen scoring block "
                         "(default: memory-budget derived)")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile; dump pstats next to the model")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
@@ -315,6 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write training events to <out>/trace.jsonl")
     p.add_argument("--progress", action="store_true",
                    help="print live training progress to stderr")
+    p.add_argument("--feature-cache", metavar="DIR",
+                   help="on-disk raw-feature cache directory (reruns over "
+                        "identical audio skip CWT extraction)")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile; dump pstats to <out>/profile.pstats")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

@@ -11,10 +11,22 @@ from repro.dsp.windows import (
     rectangular,
 )
 from repro.dsp.stft import frame_signal, power_spectrum, stft
+from repro.dsp.cache import CACHE_SCHEMA, FeatureCache
+from repro.dsp.filterbank import (
+    MORLET_NORM,
+    MorletFilterBank,
+    clear_filter_bank_cache,
+    filter_bank_cache_info,
+    get_filter_bank,
+    morlet_kernel_ft,
+    validate_frequencies,
+)
 from repro.dsp.wavelet import (
     DEFAULT_OMEGA0,
     average_band_energy,
+    average_band_energy_batch,
     cwt_morlet,
+    cwt_morlet_batch,
     frequency_to_scale,
     morlet_center_frequency,
     morlet_wavelet,
@@ -32,23 +44,33 @@ from repro.dsp.features import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA",
     "DEFAULT_F_MAX",
     "DEFAULT_F_MIN",
     "DEFAULT_N_BINS",
     "DEFAULT_OMEGA0",
+    "FeatureCache",
     "FrequencyFeatureExtractor",
+    "MORLET_NORM",
     "MinMaxScaler",
+    "MorletFilterBank",
     "average_band_energy",
+    "average_band_energy_batch",
     "blackman",
+    "clear_filter_bank_cache",
     "cwt_morlet",
+    "cwt_morlet_batch",
+    "filter_bank_cache_info",
     "frame_signal",
     "frequency_to_scale",
     "gaussian",
+    "get_filter_bank",
     "get_window",
     "hamming",
     "hann",
     "log_spaced_frequencies",
     "morlet_center_frequency",
+    "morlet_kernel_ft",
     "morlet_wavelet",
     "power_spectrum",
     "rectangular",
@@ -56,4 +78,5 @@ __all__ = [
     "select_features",
     "stft",
     "top_variance_features",
+    "validate_frequencies",
 ]

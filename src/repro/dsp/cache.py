@@ -1,0 +1,113 @@
+"""Opt-in on-disk feature cache: content-addressed raw feature matrices.
+
+Repeated experiments and ablations re-extract CWT features for the same
+recorded audio over and over.  :class:`FeatureCache` keys a raw feature
+matrix by a SHA-256 digest of (a) the extractor configuration
+fingerprint and (b) the exact bytes of every segment, so a cache hit is
+guaranteed to be the matrix the extractor would have produced — any
+change to the audio, the frequency grid, the method, or the cache schema
+changes the key and misses.
+
+Entries are stored as ``.npy`` files written atomically (temp file +
+``os.replace``), so a crashed or concurrent writer can never leave a
+truncated entry behind; unreadable/corrupt entries are treated as
+misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bump when the on-disk layout or the feature semantics change: old
+#: entries then miss instead of returning stale matrices.
+CACHE_SCHEMA = "gansec-feature-cache/v1"
+
+
+class FeatureCache:
+    """Content-addressed store for raw (unscaled) feature matrices.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first use.  Entries are
+        ``<directory>/<sha256>.npy``.
+    """
+
+    def __init__(self, directory):
+        if not directory:
+            raise ConfigurationError("feature cache directory must be non-empty")
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ---------------------------------------------------------------
+    @staticmethod
+    def key(config_fingerprint: str, segments) -> str:
+        """SHA-256 key over the extractor config and every segment's bytes."""
+        h = hashlib.sha256()
+        h.update(CACHE_SCHEMA.encode())
+        h.update(b"\x00")
+        h.update(str(config_fingerprint).encode())
+        for seg in segments:
+            arr = np.ascontiguousarray(np.asarray(seg, dtype=np.float64))
+            h.update(b"\x00seg\x00")
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npy"
+
+    # -- storage --------------------------------------------------------------
+    def get(self, key: str):
+        """Cached matrix for *key*, or ``None`` (corrupt files miss)."""
+        path = self._path(key)
+        try:
+            out = np.load(path, allow_pickle=False)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return out
+
+    def put(self, key: str, matrix: np.ndarray) -> Path:
+        """Atomically store *matrix* under *key*; returns the entry path."""
+        matrix = np.asarray(matrix)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".npy", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, matrix, allow_pickle=False)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for p in self.directory.glob("*.npy"))
+
+    def __repr__(self):
+        return (
+            f"FeatureCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

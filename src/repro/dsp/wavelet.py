@@ -7,11 +7,14 @@ before binning into 100 non-uniform frequency bins between 50 and
 5000 Hz.  This module implements that transform from scratch:
 
 * an analytic (complex) Morlet mother wavelet,
-* an FFT-based convolution across a bank of scales,
+* FFT-based convolution across a precomputed bank of scales
+  (:mod:`repro.dsp.filterbank`), batched over segments,
 * helpers to map target frequencies to scales.
 
 The implementation follows the standard Torrence & Compo (1998)
-formulation.
+formulation.  Single-segment (:func:`cwt_morlet`) and batched
+(:func:`cwt_morlet_batch`) entry points share one kernel/FFT code path,
+so their outputs are bitwise identical.
 """
 
 from __future__ import annotations
@@ -20,10 +23,25 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_array
+from repro.dsp.filterbank import (
+    DEFAULT_OMEGA0,
+    MORLET_NORM,
+    get_filter_bank,
+    validate_frequencies,
+)
 
-#: Default Morlet center frequency (rad/s, dimensionless omega0).  6.0 is
-#: the common choice that satisfies the admissibility condition well.
-DEFAULT_OMEGA0 = 6.0
+__all__ = [
+    "DEFAULT_OMEGA0",
+    "average_band_energy",
+    "average_band_energy_batch",
+    "cwt_morlet",
+    "cwt_morlet_batch",
+    "frequency_to_scale",
+    "morlet_center_frequency",
+    "morlet_wavelet",
+    "scalogram",
+    "validate_frequencies",
+]
 
 
 def morlet_center_frequency(omega0: float = DEFAULT_OMEGA0) -> float:
@@ -49,8 +67,43 @@ def frequency_to_scale(freq_hz, sample_rate: float, omega0: float = DEFAULT_OMEG
 def morlet_wavelet(t: np.ndarray, omega0: float = DEFAULT_OMEGA0) -> np.ndarray:
     """Complex Morlet mother wavelet sampled at times *t* (unit scale)."""
     t = np.asarray(t, dtype=np.float64)
-    norm = np.pi ** (-0.25)
-    return norm * np.exp(1j * omega0 * t) * np.exp(-0.5 * t * t)
+    return MORLET_NORM * np.exp(1j * omega0 * t) * np.exp(-0.5 * t * t)
+
+
+def cwt_morlet_batch(
+    x: np.ndarray,
+    sample_rate: float,
+    frequencies: np.ndarray,
+    *,
+    omega0: float = DEFAULT_OMEGA0,
+    workers=None,
+) -> np.ndarray:
+    """Morlet CWT of a batch of equal-length segments.
+
+    Implemented in the Fourier domain with a precomputed, cached
+    :class:`~repro.dsp.filterbank.MorletFilterBank`: one ``rfft`` per
+    segment, one kernel multiply and inverse FFT per (segment, scale).
+    This is O(n log n) per scale and exact up to FFT roundoff for
+    periodic extension.
+
+    Parameters
+    ----------
+    x:
+        ``(n_segments, n_samples)`` stacked real segments.
+    sample_rate, frequencies, omega0:
+        Analysis grid; *frequencies* must be strictly positive, sorted,
+        duplicate-free, and <= Nyquist.
+    workers:
+        Optional ``scipy.fft`` worker count for multi-core hosts.
+
+    Returns
+    -------
+    ndarray of shape ``(n_segments, len(frequencies), n_samples)`` with
+    complex coefficients; take ``np.abs`` for scalograms.
+    """
+    x = check_array(x, "x", ndim=2)
+    bank = get_filter_bank(x.shape[1], sample_rate, frequencies, omega0=omega0)
+    return bank.transform(x, workers=workers)
 
 
 def cwt_morlet(
@@ -60,12 +113,11 @@ def cwt_morlet(
     *,
     omega0: float = DEFAULT_OMEGA0,
 ) -> np.ndarray:
-    """Morlet CWT of *x* evaluated at the given *frequencies*.
+    """Morlet CWT of one segment at the given *frequencies*.
 
-    Implemented in the Fourier domain: for each scale ``s`` the transform
-    is ``ifft(fft(x) * conj(Psi_hat(s * w)))`` with the scale-normalized
-    Morlet spectrum ``Psi_hat``.  This is O(n log n) per scale and exact
-    up to FFT roundoff for periodic extension.
+    Single-segment entry point over the same cached filter bank as
+    :func:`cwt_morlet_batch` (batched and looped calls are bitwise
+    identical).
 
     Returns
     -------
@@ -73,32 +125,7 @@ def cwt_morlet(
     coefficients; take ``np.abs`` for the scalogram.
     """
     x = check_array(x, "x", ndim=1)
-    freqs = check_array(frequencies, "frequencies", ndim=1)
-    if np.any(freqs <= 0):
-        raise ConfigurationError("all analysis frequencies must be > 0")
-    nyquist = sample_rate / 2.0
-    if np.any(freqs > nyquist):
-        raise ConfigurationError(
-            f"analysis frequencies exceed Nyquist ({nyquist} Hz): max={freqs.max()}"
-        )
-    n = len(x)
-    scales = frequency_to_scale(freqs, sample_rate, omega0)
-    # Angular frequencies of the DFT bins (per-sample units).
-    w = 2.0 * np.pi * np.fft.fftfreq(n)
-    xf = np.fft.fft(x)
-    out = np.empty((len(freqs), n), dtype=np.complex128)
-    norm_const = np.pi ** (-0.25)
-    for i, s in enumerate(scales):
-        sw = s * w
-        # Analytic Morlet: support only on positive frequencies.
-        psi_hat = np.zeros(n, dtype=np.float64)
-        pos = w > 0
-        psi_hat[pos] = norm_const * np.exp(-0.5 * (sw[pos] - omega0) ** 2)
-        # sqrt(2 pi s / dt) normalization keeps amplitude comparable
-        # across scales (Torrence & Compo Eq. 6); dt = 1 sample here.
-        psi_hat *= np.sqrt(2.0 * np.pi * s)
-        out[i] = np.fft.ifft(xf * psi_hat)
-    return out
+    return cwt_morlet_batch(x[None, :], sample_rate, frequencies, omega0=omega0)[0]
 
 
 def scalogram(
@@ -124,4 +151,30 @@ def average_band_energy(
     This is the per-segment feature the case study feeds to the CGAN: one
     magnitude per frequency bin for a window of audio.
     """
-    return scalogram(x, sample_rate, frequencies, omega0=omega0).mean(axis=1)
+    x = check_array(x, "x", ndim=1)
+    return average_band_energy_batch(
+        x[None, :], sample_rate, frequencies, omega0=omega0
+    )[0]
+
+
+def average_band_energy_batch(
+    x: np.ndarray,
+    sample_rate: float,
+    frequencies: np.ndarray,
+    *,
+    omega0: float = DEFAULT_OMEGA0,
+    workers=None,
+) -> np.ndarray:
+    """Time-averaged CWT magnitudes for a batch of equal-length segments.
+
+    Equivalent to stacking :func:`average_band_energy` over rows (bitwise
+    — both run through the same bank), but blocked so the complex
+    coefficient cube never materializes.
+
+    Returns
+    -------
+    ndarray of shape ``(n_segments, len(frequencies))``.
+    """
+    x = check_array(x, "x", ndim=2)
+    bank = get_filter_bank(x.shape[1], sample_rate, frequencies, omega0=omega0)
+    return bank.band_energy(x, workers=workers)

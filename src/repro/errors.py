@@ -13,8 +13,12 @@ class GanSecError(Exception):
     """Base class for every exception raised by this library."""
 
 
-class ConfigurationError(GanSecError):
-    """An object was constructed with invalid or inconsistent parameters."""
+class ConfigurationError(GanSecError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters.
+
+    Also a :class:`ValueError` so that generic callers validating
+    parameters (e.g. frequency grids) can catch the standard type.
+    """
 
 
 class ShapeError(GanSecError):

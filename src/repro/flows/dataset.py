@@ -89,17 +89,31 @@ class FlowPairDataset:
         ]
 
     # -- sampling & splitting --------------------------------------------------
-    def sample_batch(self, batch_size: int, *, seed=None):
+    def sample_batch(self, batch_size: int, *, seed=None, out=None):
         """Random mini-batch ``(features, conditions)`` with replacement.
 
         This is Algorithm 2's "acquire n mini-batch samples from
         Pr_data(F1)" together with the *corresponding* conditioning values
         (Lines 6-7) — alignment is preserved by construction.
+
+        Parameters
+        ----------
+        out:
+            Optional ``(feature_buffer, condition_buffer)`` pair of
+            preallocated ``(batch_size, d)`` / ``(batch_size, c)``
+            arrays filled in place — the training loop's zero-allocation
+            path.  The RNG draw and the gathered rows are identical to
+            the allocating call.
         """
         if batch_size <= 0:
             raise DataError(f"batch_size must be > 0, got {batch_size}")
         rng = as_rng(seed)
         idx = rng.integers(0, len(self), size=batch_size)
+        if out is not None:
+            feat_buf, cond_buf = out
+            np.take(self.features, idx, axis=0, out=feat_buf)
+            np.take(self.conditions, idx, axis=0, out=cond_buf)
+            return feat_buf, cond_buf
         return self.features[idx], self.conditions[idx]
 
     def shuffled(self, *, seed=None) -> "FlowPairDataset":

@@ -142,6 +142,29 @@ class ConditionalGAN:
         self.history = TrainingHistory()
         self.snapshots: list = []
         self.trained_iterations = 0
+        # Per-batch-size training buffers (noise, network inputs,
+        # targets), reused every step so the inner loop allocates
+        # nothing; values written through them are identical to the
+        # hstack/vstack construction they replace.
+        self._train_buffers: dict = {}
+
+    def _step_buffers(self, n: int) -> dict:
+        bufs = self._train_buffers.get(n)
+        if bufs is None:
+            fd, cd, nd = self.feature_dim, self.condition_dim, self.noise_dim
+            bufs = {
+                "z": np.empty((n, nd), dtype=np.float64),
+                "g_in": np.empty((n, nd + cd), dtype=np.float64),
+                "d_in_g": np.empty((n, fd + cd), dtype=np.float64),
+                "d_in_d": np.empty((2 * n, fd + cd), dtype=np.float64),
+                # Bottom half (fake labels) is zero forever; only the
+                # real-label top half is refilled per step.
+                "targets": np.zeros((2 * n, 1), dtype=np.float64),
+                "real_x": np.empty((n, fd), dtype=np.float64),
+                "real_c": np.empty((n, cd), dtype=np.float64),
+            }
+            self._train_buffers[n] = bufs
+        return bufs
 
     # -- sampling ----------------------------------------------------------------
     def sample_noise(self, n: int, *, seed=None) -> np.ndarray:
@@ -170,19 +193,28 @@ class ConditionalGAN:
 
     # -- training -----------------------------------------------------------------
     def _d_step(self, real_x, real_c, *, label_smoothing: float):
-        """One discriminator ascent step (Algorithm 2, Lines 5–8)."""
+        """One discriminator ascent step (Algorithm 2, Lines 5–8).
+
+        Network inputs are assembled in preallocated per-batch-size
+        buffers (same values the seed ``hstack``/``vstack`` produced,
+        without the per-step allocations); the noise draw consumes the
+        training RNG stream exactly as ``sample_noise`` does.
+        """
         n = real_x.shape[0]
-        z = self.sample_noise(n)
-        fake_x = self.generator.forward(np.hstack([z, real_c]), training=True)
-        d_in = np.vstack(
-            [np.hstack([real_x, real_c]), np.hstack([fake_x, real_c])]
-        )
-        targets = np.vstack(
-            [
-                np.full((n, 1), 1.0 - label_smoothing),
-                np.zeros((n, 1)),
-            ]
-        )
+        bufs = self._step_buffers(n)
+        z = self.noise.sample_into(bufs["z"], self._train_rng)
+        g_in = bufs["g_in"]
+        g_in[:, : self.noise_dim] = z
+        g_in[:, self.noise_dim :] = real_c
+        fake_x = self.generator.forward(g_in, training=True)
+        fd = self.feature_dim
+        d_in = bufs["d_in_d"]
+        d_in[:n, :fd] = real_x
+        d_in[:n, fd:] = real_c
+        d_in[n:, :fd] = fake_x
+        d_in[n:, fd:] = real_c
+        targets = bufs["targets"]
+        targets[:n].fill(1.0 - label_smoothing)
         preds = self.discriminator.forward(d_in, training=True)
         self.discriminator.backward(self._bce.gradient(preds, targets))
         self._d_opt.step(self.discriminator.layers)
@@ -197,11 +229,16 @@ class ConditionalGAN:
         The discriminator optimizer is simply not stepped.
         """
         n = cond_batch.shape[0]
-        z = self.sample_noise(n)
-        fake_x = self.generator.forward(np.hstack([z, cond_batch]), training=True)
-        d_pred = self.discriminator.forward(
-            np.hstack([fake_x, cond_batch]), training=True
-        )
+        bufs = self._step_buffers(n)
+        z = self.noise.sample_into(bufs["z"], self._train_rng)
+        g_in = bufs["g_in"]
+        g_in[:, : self.noise_dim] = z
+        g_in[:, self.noise_dim :] = cond_batch
+        fake_x = self.generator.forward(g_in, training=True)
+        d_in = bufs["d_in_g"]
+        d_in[:, : self.feature_dim] = fake_x
+        d_in[:, self.feature_dim :] = cond_batch
+        d_pred = self.discriminator.forward(d_in, training=True)
         grad_d_in = self.discriminator.backward(self._g_loss.gradient(d_pred))
         grad_fake = grad_d_in[:, : self.feature_dim]
         self.generator.backward(grad_fake)
@@ -283,6 +320,11 @@ class ConditionalGAN:
         rng = self._train_rng
 
         base = dataset.shuffled(seed=rng)
+        # Mini-batches are gathered into fixed buffers (np.take) instead
+        # of fancy-indexed copies — same RNG draw, same rows, no per-step
+        # allocation.
+        batch_bufs = self._step_buffers(batch_size)
+        batch_out = (batch_bufs["real_x"], batch_bufs["real_c"])
         for it in range(iterations):
             if data_fraction is not None:
                 frac = float(data_fraction(it))
@@ -298,11 +340,15 @@ class ConditionalGAN:
 
             d_loss = np.nan
             for _ in range(k_disc):
-                real_x, real_c = visible.sample_batch(batch_size, seed=rng)
+                real_x, real_c = visible.sample_batch(
+                    batch_size, seed=rng, out=batch_out
+                )
                 d_loss = self._d_step(
                     real_x, real_c, label_smoothing=label_smoothing
                 )
-            _, cond_batch = visible.sample_batch(batch_size, seed=rng)
+            _, cond_batch = visible.sample_batch(
+                batch_size, seed=rng, out=batch_out
+            )
             g_loss, g_objective = self._g_step(cond_batch)
 
             self.trained_iterations += 1

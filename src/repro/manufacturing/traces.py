@@ -142,6 +142,7 @@ def record_case_study_dataset(
     printer: Printer3D | None = None,
     encoder: ConditionEncoder | None = None,
     method: str = "cwt",
+    feature_cache=None,
 ):
     """One-call reproduction of the paper's data collection.
 
@@ -151,6 +152,11 @@ def record_case_study_dataset(
 
     The returned extractor has its scaler fitted on this dataset, so it
     can consistently featureize held-out traces (attacker test data).
+
+    *feature_cache* (a directory path or
+    :class:`~repro.dsp.cache.FeatureCache`) enables the on-disk raw
+    feature cache, so repeated recordings of identical audio skip CWT
+    extraction entirely.
     """
     rng = as_rng(seed)
     printer = printer or Printer3D(sample_rate=sample_rate, seed=rng)
@@ -159,7 +165,10 @@ def record_case_study_dataset(
     runs = [printer.run(p, seed=rng) for p in programs]
     segments = collect_segments(runs)
     extractor = FrequencyFeatureExtractor(
-        printer.sample_rate, n_bins=n_bins, method=method
+        printer.sample_rate,
+        n_bins=n_bins,
+        method=method,
+        feature_cache=feature_cache,
     )
     dataset = build_dataset(segments, extractor, encoder)
     return dataset, extractor, encoder, runs

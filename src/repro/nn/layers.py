@@ -94,13 +94,39 @@ class Dense(Layer):
         self._x = None
         self._pre = None
         self._out = None
+        # Training workspaces keyed by batch-row count: forward/backward
+        # at a fixed batch size reuse the same buffers every iteration
+        # instead of allocating fresh arrays (the GAN inner loop runs the
+        # same shapes thousands of times).  Inference (``training=False``)
+        # keeps the allocating path: predictions may be retained
+        # long-term by callers (e.g. the condition sample cache), so they
+        # must never alias reused buffers.
+        self._workspaces: dict = {}
+        self._ws = None
 
     def build(self, input_dim, rng):
         rng = as_rng(rng)
         self.W = self.kernel_init((input_dim, self.units), rng)
         self.b = self.bias_init((self.units,), rng) if self.use_bias else None
         self.built = True
+        self._workspaces.clear()
+        self._ws = None
         return self.units
+
+    def _workspace(self, n: int) -> dict:
+        ws = self._workspaces.get(n)
+        if ws is None:
+            in_dim = self.W.shape[0]
+            ws = {
+                "pre": np.empty((n, self.units), dtype=np.float64),
+                "out": np.empty((n, self.units), dtype=np.float64),
+                "deriv": np.empty((n, self.units), dtype=np.float64),
+                "grad_in": np.empty((n, in_dim), dtype=np.float64),
+                "dW": np.empty((in_dim, self.units), dtype=np.float64),
+                "db": np.empty(self.units, dtype=np.float64),
+            }
+            self._workspaces[n] = ws
+        return ws
 
     def parameters(self):
         params = {"W": self.W}
@@ -123,6 +149,23 @@ class Dense(Layer):
                 f"Dense expected input (batch, {self.W.shape[0]}), got {x.shape}"
             )
         self._x = x
+        if training:
+            # Hot path: same elementwise/BLAS operations as the
+            # allocating branch below, written through reused buffers —
+            # bitwise-identical results (tests/nn/test_hotpath_identity).
+            ws = self._workspace(x.shape[0])
+            self._ws = ws
+            pre = np.matmul(x, self.W, out=ws["pre"])
+            if self.use_bias:
+                pre += self.b
+            self._pre = pre
+            self._out = (
+                self.activation.forward(pre, out=ws["out"])
+                if self.activation
+                else pre
+            )
+            return self._out
+        self._ws = None
         pre = x @ self.W
         if self.use_bias:
             pre = pre + self.b
@@ -132,6 +175,17 @@ class Dense(Layer):
 
     def backward(self, grad_out):
         grad_out = np.asarray(grad_out, dtype=np.float64)
+        ws = self._ws if self._ws is not None and grad_out.shape == self._pre.shape else None
+        if ws is not None:
+            if self.activation:
+                deriv = self.activation.backward(self._pre, self._out, out=ws["deriv"])
+                grad_pre = np.multiply(grad_out, deriv, out=ws["deriv"])
+            else:
+                grad_pre = grad_out
+            self.dW = np.matmul(self._x.T, grad_pre, out=ws["dW"])
+            if self.use_bias:
+                self.db = grad_pre.sum(axis=0, out=ws["db"])
+            return np.matmul(grad_pre, self.W.T, out=ws["grad_in"])
         if self.activation:
             grad_pre = grad_out * self.activation.backward(self._pre, self._out)
         else:
@@ -229,6 +283,10 @@ class BatchNorm(Layer):
         self.running_mean = None
         self.running_var = None
         self._cache = None
+        # Training workspaces keyed by batch-row count (see Dense): the
+        # same statistics/normalization buffers are reused across
+        # iterations at a fixed batch size.
+        self._workspaces: dict = {}
 
     def build(self, input_dim, rng):
         self.gamma = np.ones(input_dim, dtype=np.float64)
@@ -236,7 +294,27 @@ class BatchNorm(Layer):
         self.running_mean = np.zeros(input_dim, dtype=np.float64)
         self.running_var = np.ones(input_dim, dtype=np.float64)
         self.built = True
+        self._workspaces.clear()
         return input_dim
+
+    def _workspace(self, n: int) -> dict:
+        ws = self._workspaces.get(n)
+        if ws is None:
+            d = self.gamma.shape[0]
+            ws = {
+                "mean": np.empty(d, dtype=np.float64),
+                "var": np.empty(d, dtype=np.float64),
+                "inv_std": np.empty(d, dtype=np.float64),
+                "vec": np.empty(d, dtype=np.float64),
+                "dgamma": np.empty(d, dtype=np.float64),
+                "dbeta": np.empty(d, dtype=np.float64),
+                "x_hat": np.empty((n, d), dtype=np.float64),
+                "out": np.empty((n, d), dtype=np.float64),
+                "tmp": np.empty((n, d), dtype=np.float64),
+                "dxhat": np.empty((n, d), dtype=np.float64),
+            }
+            self._workspaces[n] = ws
+        return ws
 
     def parameters(self):
         return {"gamma": self.gamma, "beta": self.beta}
@@ -247,17 +325,35 @@ class BatchNorm(Layer):
     def forward(self, x, training=False):
         x = np.asarray(x, dtype=np.float64)
         if training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
+            # Hot path: identical operation sequence to the allocating
+            # formulation (``m*rm + (1-m)*mean``, ``(x-mean)*inv_std``,
+            # ``gamma*x_hat + beta``) through reused buffers — results
+            # are bitwise equal; running stats keep their array identity.
+            ws = self._ws = self._workspace(x.shape[0])
+            mean = x.mean(axis=0, out=ws["mean"])
+            var = x.var(axis=0, out=ws["var"])
             m = self.momentum
-            self.running_mean = m * self.running_mean + (1 - m) * mean
-            self.running_var = m * self.running_var + (1 - m) * var
-        else:
-            mean = self.running_mean
-            var = self.running_var
+            self.running_mean *= m
+            np.multiply(mean, 1 - m, out=ws["vec"])
+            self.running_mean += ws["vec"]
+            self.running_var *= m
+            np.multiply(var, 1 - m, out=ws["vec"])
+            self.running_var += ws["vec"]
+            inv_std = ws["inv_std"]
+            np.add(var, self.eps, out=inv_std)
+            np.sqrt(inv_std, out=inv_std)
+            np.divide(1.0, inv_std, out=inv_std)
+            x_hat = np.subtract(x, mean, out=ws["x_hat"])
+            x_hat *= inv_std
+            self._cache = (x_hat, inv_std)
+            out = np.multiply(self.gamma, x_hat, out=ws["out"])
+            out += self.beta
+            return out
+        mean = self.running_mean
+        var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std) if training else None
+        self._cache = None
         return self.gamma * x_hat + self.beta
 
     def backward(self, grad_out):
@@ -267,6 +363,24 @@ class BatchNorm(Layer):
             return grad_out * self.gamma * inv_std
         x_hat, inv_std = self._cache
         n = grad_out.shape[0]
+        ws = self._workspaces.get(n)
+        if ws is not None and x_hat is ws["x_hat"]:
+            # In-place mirror of the vectorized batchnorm backward below;
+            # every ufunc call matches the allocating expression's
+            # operand order, so gradients are bitwise identical.
+            tmp = np.multiply(grad_out, x_hat, out=ws["tmp"])
+            self.dgamma = tmp.sum(axis=0, out=ws["dgamma"])
+            self.dbeta = grad_out.sum(axis=0, out=ws["dbeta"])
+            dxhat = np.multiply(grad_out, self.gamma, out=ws["dxhat"])
+            out = np.multiply(n, dxhat, out=ws["tmp"])
+            out -= dxhat.sum(axis=0, out=ws["vec"])
+            np.multiply(dxhat, x_hat, out=ws["dxhat"])
+            np.sum(ws["dxhat"], axis=0, out=ws["vec"])
+            np.multiply(x_hat, ws["vec"], out=ws["dxhat"])
+            out -= ws["dxhat"]
+            np.divide(inv_std, n, out=ws["vec"])
+            out *= ws["vec"]
+            return out
         self.dgamma = (grad_out * x_hat).sum(axis=0)
         self.dbeta = grad_out.sum(axis=0)
         dxhat = grad_out * self.gamma

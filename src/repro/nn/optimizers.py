@@ -21,12 +21,32 @@ class Optimizer:
             raise ConfigurationError(f"learning_rate must be > 0, got {learning_rate}")
         self.learning_rate = float(learning_rate)
         self._state: dict = {}
+        self._scratch: dict = {}
         self.iterations = 0
 
     def reset(self):
         """Drop accumulated state (momentum buffers, moment estimates)."""
         self._state.clear()
+        self._scratch.clear()
         self.iterations = 0
+
+    def _scratch_for(self, param):
+        """Two reusable work arrays shaped like *param*.
+
+        Updates run sequentially, so one scratch pair per shape serves
+        every parameter; subclasses write their intermediate products
+        here instead of allocating per step.  All in-place update
+        sequences replicate the allocating formulas operation-for-
+        operation, so parameter trajectories are bitwise unchanged.
+        """
+        pair = self._scratch.get(param.shape)
+        if pair is None:
+            pair = (
+                np.empty_like(param, dtype=np.float64),
+                np.empty_like(param, dtype=np.float64),
+            )
+            self._scratch[param.shape] = pair
+        return pair
 
     def step(self, layers) -> None:
         """Apply one update to every trainable parameter of *layers*."""
@@ -65,14 +85,20 @@ class SGD(Optimizer):
         self.nesterov = bool(nesterov)
 
     def update(self, key, param, grad):
+        s1, s2 = self._scratch_for(param)
+        np.multiply(grad, self.learning_rate, out=s1)  # lr * grad
         if self.momentum == 0.0:
-            param -= self.learning_rate * grad
+            param -= s1
             return
-        buf = self._state.setdefault(key, np.zeros_like(param))
+        buf = self._state.get(key)
+        if buf is None:
+            buf = self._state[key] = np.zeros_like(param)
         buf *= self.momentum
-        buf -= self.learning_rate * grad
+        buf -= s1
         if self.nesterov:
-            param += self.momentum * buf - self.learning_rate * grad
+            np.multiply(buf, self.momentum, out=s2)
+            s2 -= s1  # momentum * buf - lr * grad
+            param += s2
         else:
             param += buf
 
@@ -88,10 +114,19 @@ class RMSProp(Optimizer):
         self.eps = float(eps)
 
     def update(self, key, param, grad):
-        acc = self._state.setdefault(key, np.zeros_like(param))
+        s1, s2 = self._scratch_for(param)
+        acc = self._state.get(key)
+        if acc is None:
+            acc = self._state[key] = np.zeros_like(param)
         acc *= self.rho
-        acc += (1.0 - self.rho) * grad * grad
-        param -= self.learning_rate * grad / (np.sqrt(acc) + self.eps)
+        np.multiply(grad, 1.0 - self.rho, out=s1)
+        s1 *= grad  # (1 - rho) * grad * grad
+        acc += s1
+        np.multiply(grad, self.learning_rate, out=s1)  # lr * grad
+        np.sqrt(acc, out=s2)
+        s2 += self.eps
+        s1 /= s2
+        param -= s1
 
 
 class Adam(Optimizer):
@@ -118,18 +153,31 @@ class Adam(Optimizer):
         self.eps = float(eps)
 
     def update(self, key, param, grad):
-        m, v, t = self._state.setdefault(
-            key, [np.zeros_like(param), np.zeros_like(param), 0]
-        )
+        s1, s2 = self._scratch_for(param)
+        state = self._state.get(key)
+        if state is None:
+            state = self._state[key] = [
+                np.zeros_like(param),
+                np.zeros_like(param),
+                0,
+            ]
+        m, v, t = state
         t += 1
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        m += s1
         v *= self.beta2
-        v += (1.0 - self.beta2) * grad * grad
+        np.multiply(grad, 1.0 - self.beta2, out=s1)
+        s1 *= grad  # (1 - beta2) * grad * grad
+        v += s1
         self._state[key][2] = t
-        m_hat = m / (1.0 - self.beta1**t)
-        v_hat = v / (1.0 - self.beta2**t)
-        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.divide(m, 1.0 - self.beta1**t, out=s1)  # m_hat
+        s1 *= self.learning_rate
+        np.divide(v, 1.0 - self.beta2**t, out=s2)  # v_hat
+        np.sqrt(s2, out=s2)
+        s2 += self.eps
+        s1 /= s2  # lr * m_hat / (sqrt(v_hat) + eps)
+        param -= s1
 
 
 _REGISTRY = {"sgd": SGD, "rmsprop": RMSProp, "adam": Adam}

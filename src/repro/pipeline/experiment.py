@@ -60,6 +60,9 @@ class ExperimentConfig:
     analysis_workers: int = 1
     chunk_size: int | None = None
     trace: bool = False
+    #: Optional directory for the on-disk raw-feature cache; repeated
+    #: experiments over identical recorded audio skip CWT extraction.
+    feature_cache: str | None = None
 
     def __post_init__(self):
         if not self.name:
@@ -121,6 +124,7 @@ def run_experiment(config: ExperimentConfig, out_dir, *, bus=None) -> Experiment
         sample_rate=config.sample_rate,
         n_bins=config.n_bins,
         seed=config.seed,
+        feature_cache=config.feature_cache,
     )
     save_dataset(dataset, out_dir / "dataset.npz")
 

@@ -1,0 +1,92 @@
+"""Tests for repro.dsp.cache (on-disk feature cache)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dsp.cache import CACHE_SCHEMA, FeatureCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return FeatureCache(tmp_path / "features")
+
+
+SEGS = [np.arange(8.0), np.arange(8.0) * 2.0]
+
+
+class TestKeying:
+    def test_deterministic(self):
+        assert FeatureCache.key("cfg", SEGS) == FeatureCache.key("cfg", SEGS)
+
+    def test_config_changes_key(self):
+        assert FeatureCache.key("cfg-a", SEGS) != FeatureCache.key("cfg-b", SEGS)
+
+    def test_data_changes_key(self):
+        perturbed = [SEGS[0].copy(), SEGS[1].copy()]
+        perturbed[1][3] += 1e-9
+        assert FeatureCache.key("cfg", SEGS) != FeatureCache.key("cfg", perturbed)
+
+    def test_segment_order_changes_key(self):
+        assert FeatureCache.key("cfg", SEGS) != FeatureCache.key("cfg", SEGS[::-1])
+
+    def test_segment_boundaries_matter(self):
+        # [8 samples, 8 samples] must not collide with [16 samples] even
+        # though the concatenated bytes are identical.
+        joined = [np.concatenate(SEGS)]
+        assert FeatureCache.key("cfg", SEGS) != FeatureCache.key("cfg", joined)
+
+    def test_schema_in_key(self):
+        h = FeatureCache.key("cfg", SEGS)
+        assert len(h) == 64  # sha256 hex
+        assert "v1" in CACHE_SCHEMA
+
+
+class TestStorage:
+    def test_miss_then_hit_roundtrip(self, cache):
+        key = FeatureCache.key("cfg", SEGS)
+        assert cache.get(key) is None
+        matrix = np.arange(12.0).reshape(2, 6)
+        cache.put(key, matrix)
+        out = cache.get(key)
+        np.testing.assert_array_equal(out, matrix)
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert len(cache) == 1
+
+    def test_put_overwrites(self, cache):
+        key = FeatureCache.key("cfg", SEGS)
+        cache.put(key, np.zeros((2, 3)))
+        cache.put(key, np.ones((2, 3)))
+        np.testing.assert_array_equal(cache.get(key), np.ones((2, 3)))
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_miss(self, cache):
+        key = FeatureCache.key("cfg", SEGS)
+        path = cache.put(key, np.ones((2, 3)))
+        path.write_bytes(b"not a npy file")
+        assert cache.get(key) is None
+
+    def test_truncated_entry_is_miss(self, cache):
+        key = FeatureCache.key("cfg", SEGS)
+        path = cache.put(key, np.ones((4, 100)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.get(key) is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(FeatureCache.key("cfg", SEGS), np.ones((2, 3)))
+        leftovers = [
+            p for p in cache.directory.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_empty_directory_len_zero(self, cache):
+        assert len(cache) == 0
+
+    def test_rejects_empty_directory(self):
+        with pytest.raises(ConfigurationError):
+            FeatureCache("")
+
+    def test_repr_mentions_stats(self, cache):
+        cache.get("0" * 64)
+        assert "misses=1" in repr(cache)

@@ -168,6 +168,138 @@ class TestExtractor:
         assert not ex.include_stats
 
 
+class TestBatchedExtraction:
+    SR = 12000.0
+
+    def _extractor(self, **kw):
+        return FrequencyFeatureExtractor(self.SR, n_bins=12, **kw)
+
+    def test_stacked_matrix_input(self):
+        rng = np.random.default_rng(0)
+        segs = rng.normal(size=(6, 720))
+        ex = self._extractor()
+        feats = ex.fit_transform(segs)
+        assert feats.shape == (6, 12)
+
+    def test_batched_equals_looped_bitwise(self):
+        rng = np.random.default_rng(1)
+        segs = rng.normal(size=(5, 600))
+        ex = self._extractor()
+        batched = ex.raw_feature_matrix(segs)
+        looped = np.vstack([ex.raw_features(segs[i]) for i in range(5)])
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_batched_equals_looped_with_stats(self):
+        rng = np.random.default_rng(2)
+        segs = rng.normal(size=(4, 600)) + 2.5
+        ex = self._extractor(include_stats=True)
+        batched = ex.raw_feature_matrix(segs)
+        looped = np.vstack([ex.raw_features(segs[i]) for i in range(4)])
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_ragged_segments_preserve_row_order(self):
+        rng = np.random.default_rng(3)
+        lengths = [600, 720, 600, 840, 720]
+        segs = [rng.normal(size=n) for n in lengths]
+        ex = self._extractor()
+        batched = ex.raw_feature_matrix(segs)
+        looped = np.vstack([ex.raw_features(s) for s in segs])
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ConfigurationError, match="no segments"):
+            self._extractor().raw_feature_matrix([])
+
+    def test_fit_transform_extracts_once(self, monkeypatch):
+        rng = np.random.default_rng(4)
+        segs = rng.normal(size=(3, 600))
+        ex = self._extractor()
+        calls = {"n": 0}
+        orig = FrequencyFeatureExtractor.raw_feature_matrix
+
+        def counting(self, segments):
+            calls["n"] += 1
+            return orig(self, segments)
+
+        monkeypatch.setattr(
+            FrequencyFeatureExtractor, "raw_feature_matrix", counting
+        )
+        ex.fit_transform(segs)
+        assert calls["n"] == 1
+
+    def test_config_fingerprint_sensitivity(self):
+        base = self._extractor().config_fingerprint()
+        assert self._extractor().config_fingerprint() == base
+        assert self._extractor(include_stats=True).config_fingerprint() != base
+        assert self._extractor(f_max=4000.0).config_fingerprint() != base
+        assert (
+            FrequencyFeatureExtractor(11025.0, n_bins=12).config_fingerprint()
+            != base
+        )
+
+
+class TestFeatureCacheWiring:
+    SR = 12000.0
+
+    def test_hit_returns_identical_matrix(self, tmp_path):
+        from repro.dsp.cache import FeatureCache
+
+        rng = np.random.default_rng(0)
+        segs = rng.normal(size=(4, 600))
+        cache = FeatureCache(tmp_path)
+        ex = FrequencyFeatureExtractor(self.SR, n_bins=10, feature_cache=cache)
+        first = ex.raw_feature_matrix(segs)
+        assert cache.stats() == {"hits": 0, "misses": 1}
+        second = ex.raw_feature_matrix(segs)
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        np.testing.assert_array_equal(first, second)
+
+    def test_path_accepted_directly(self, tmp_path):
+        ex = FrequencyFeatureExtractor(
+            self.SR, n_bins=10, feature_cache=tmp_path / "fc"
+        )
+        segs = np.random.default_rng(1).normal(size=(3, 600))
+        ex.raw_feature_matrix(segs)
+        assert len(ex.feature_cache) == 1
+
+    def test_data_change_misses(self, tmp_path):
+        rng = np.random.default_rng(2)
+        segs = rng.normal(size=(3, 600))
+        ex = FrequencyFeatureExtractor(
+            self.SR, n_bins=10, feature_cache=tmp_path
+        )
+        ex.raw_feature_matrix(segs)
+        other = segs.copy()
+        other[0, 0] += 1e-12
+        ex.raw_feature_matrix(other)
+        assert ex.feature_cache.stats()["misses"] == 2
+        assert len(ex.feature_cache) == 2
+
+    def test_config_change_misses(self, tmp_path):
+        rng = np.random.default_rng(3)
+        segs = rng.normal(size=(3, 600))
+        a = FrequencyFeatureExtractor(self.SR, n_bins=10, feature_cache=tmp_path)
+        b = FrequencyFeatureExtractor(
+            self.SR, n_bins=10, include_stats=True, feature_cache=tmp_path
+        )
+        a.raw_feature_matrix(segs)
+        b.raw_feature_matrix(segs)
+        assert b.feature_cache.stats()["misses"] == 1
+        assert len(a.feature_cache) == 2
+
+    def test_cached_matches_uncached(self, tmp_path):
+        rng = np.random.default_rng(4)
+        segs = rng.normal(size=(4, 600))
+        plain = FrequencyFeatureExtractor(self.SR, n_bins=10)
+        cached = FrequencyFeatureExtractor(
+            self.SR, n_bins=10, feature_cache=tmp_path
+        )
+        cached.raw_feature_matrix(segs)  # warm
+        np.testing.assert_array_equal(
+            cached.fit_transform(segs), plain.fit_transform(segs)
+        )
+
+
 class TestSelection:
     def test_select_features(self):
         x = np.arange(12.0).reshape(3, 4)

@@ -31,6 +31,37 @@ class TestFraming:
             frame_signal(np.ones(8), 4, 0)
 
 
+class TestFramingEdges:
+    def test_signal_exactly_one_frame(self):
+        x = np.arange(8.0)
+        frames = frame_signal(x, frame_len=8, hop=4)
+        assert frames.shape == (1, 8)
+        np.testing.assert_array_equal(frames[0], x)
+
+    def test_hop_larger_than_frame_skips_samples(self):
+        x = np.arange(10.0)
+        frames = frame_signal(x, frame_len=2, hop=4)
+        np.testing.assert_array_equal(frames[:, 0], [0, 4, 8])
+
+    def test_single_sample_signal(self):
+        frames = frame_signal(np.array([3.0]), frame_len=4, hop=2)
+        assert frames.shape == (1, 4)
+        np.testing.assert_array_equal(frames[0], [3, 0, 0, 0])
+
+    def test_hop_one_dense_overlap(self):
+        x = np.arange(6.0)
+        frames = frame_signal(x, frame_len=3, hop=1)
+        assert frames.shape == (4, 3)
+        np.testing.assert_array_equal(frames[3], [3, 4, 5])
+
+    def test_no_samples_dropped(self):
+        # Every input sample appears in at least one frame.
+        x = np.arange(11.0) + 1.0
+        frames = frame_signal(x, frame_len=4, hop=3)
+        recovered = set(frames.ravel().tolist()) - {0.0}
+        assert recovered == set(x.tolist())
+
+
 class TestSTFT:
     def test_pure_tone_peak(self):
         sr = 8000.0
@@ -47,6 +78,26 @@ class TestSTFT:
     def test_rejects_bad_sample_rate(self):
         with pytest.raises(ConfigurationError):
             stft(np.ones(128), 0.0)
+
+    def test_custom_hop_changes_frame_count(self):
+        x = np.random.default_rng(0).normal(size=4096)
+        _, t_half, _ = stft(x, 8000.0, frame_len=512)
+        _, t_quarter, _ = stft(x, 8000.0, frame_len=512, hop=128)
+        assert len(t_quarter) > len(t_half)
+
+    def test_rectangular_window(self):
+        x = np.ones(1024)
+        freqs, _, mags = stft(x, 1000.0, frame_len=256, window="rectangular")
+        # DC-only input: all energy in bin 0.
+        assert mags[0].argmax() == 0
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown window"):
+            stft(np.ones(512), 1000.0, window="kaiser")
+
+    def test_input_shorter_than_frame(self):
+        freqs, times, mags = stft(np.ones(100), 1000.0, frame_len=256)
+        assert mags.shape == (1, len(freqs))
 
 
 class TestPowerSpectrum:

@@ -61,6 +61,37 @@ class TestShapes:
             gaussian(16, sigma=0.0)
 
 
+class TestEdgeCases:
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+    def test_rejects_negative_length(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(-3)
+
+    @pytest.mark.parametrize("fn", [hann, hamming, blackman], ids=lambda f: f.__name__)
+    def test_periodic_symmetry(self, fn):
+        # Periodic windows satisfy w[k] == w[n-k] for k in 1..n-1.
+        w = fn(17)
+        np.testing.assert_allclose(w[1:], w[1:][::-1], atol=1e-12)
+
+    def test_length_two(self):
+        np.testing.assert_allclose(hann(2), [0.0, 1.0], atol=1e-12)
+        np.testing.assert_array_equal(rectangular(2), [1.0, 1.0])
+
+    def test_even_gaussian_peak_split(self):
+        # Even length has no center sample; the two middle samples tie.
+        w = gaussian(64)
+        assert w[31] == pytest.approx(w[32])
+        assert w.max() < 1.0
+
+    def test_gaussian_length_one(self):
+        np.testing.assert_array_equal(gaussian(1), [1.0])
+
+    def test_narrow_sigma_concentrates(self):
+        wide = gaussian(65, sigma=0.8)
+        narrow = gaussian(65, sigma=0.1)
+        assert narrow.sum() < wide.sum()
+
+
 class TestRegistry:
     def test_lookup(self):
         np.testing.assert_array_equal(get_window("hann", 16), hann(16))

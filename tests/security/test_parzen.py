@@ -137,14 +137,19 @@ class TestBatchedScoring:
         pw = ParzenWindow(h).fit(kernels)
         got = pw.score_batch(np.array(points), chunk_size=chunk)
         want = naive_log_density(kernels, points, h)
-        # Where the naive exp() underflows to density 0, log-sum-exp
-        # keeps the true (very negative) value — only require that the
-        # stable path is at least as far in the tail as float64 allows.
-        finite = np.isfinite(want)
+        # Where the naive exp() underflows (densities below the smallest
+        # normal float64, log < ~-708), the naive sum is computed from
+        # subnormals and loses precision, so the strict tolerance only
+        # applies in the normal range; log-sum-exp keeps the true (very
+        # negative) value — only require that the stable path is at
+        # least as far in the tail as float64 allows.
+        normal = np.isfinite(want) & (want > np.log(np.finfo(float).tiny))
         np.testing.assert_allclose(
-            got[finite], want[finite], atol=1e-10, rtol=1e-10
+            got[normal], want[normal], atol=1e-10, rtol=1e-10
         )
-        assert np.all(got[~finite] < np.log(np.finfo(float).tiny) + 1)
+        assert np.all(got[~np.isfinite(want)] < np.log(np.finfo(float).tiny) + 1)
+        subnormal = np.isfinite(want) & ~normal
+        np.testing.assert_allclose(got[subnormal], want[subnormal], rtol=1e-3)
 
     @given(
         shift=st.floats(min_value=-50, max_value=50),

@@ -104,3 +104,63 @@ class TestExperimentCommand:
         assert "attack_accuracy" in text
         assert (out / "summary.json").exists()
         assert (out / "report.txt").exists()
+
+
+class TestFeatureCacheFlag:
+    def test_record_populates_and_reuses_cache(self, tmp_path, capsys):
+        from repro.dsp.cache import FeatureCache
+
+        cache_dir = tmp_path / "fc"
+        for name in ("a.npz", "b.npz"):
+            assert main(
+                ["record", "--out", str(tmp_path / name), "--moves", "6",
+                 "--seed", "5", "--bins", "30",
+                 "--feature-cache", str(cache_dir)]
+            ) == 0
+        # Identical seed/config => second run hits the cache entry the
+        # first run wrote.
+        assert len(FeatureCache(cache_dir)) == 1
+
+        import numpy as np
+
+        a = np.load(tmp_path / "a.npz")
+        b = np.load(tmp_path / "b.npz")
+        np.testing.assert_array_equal(a["features"], b["features"])
+
+
+class TestProfileFlag:
+    def test_experiment_profile_dump(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "exp"
+        assert main(
+            ["experiment", "--out", str(out), "--moves", "6",
+             "--iterations", "60", "--seed", "4", "--profile"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "profile (pstats) written" in text
+        stats = pstats.Stats(str(out / "profile.pstats"))
+        assert stats.total_calls > 0
+
+    def test_analyze_profile_dump(self, tmp_path, capsys):
+        import pstats
+
+        ds = tmp_path / "ds.npz"
+        model = tmp_path / "model"
+        assert main(
+            ["record", "--out", str(ds), "--moves", "8", "--seed", "1",
+             "--bins", "40"]
+        ) == 0
+        assert main(
+            ["train", "--dataset", str(ds), "--out", str(model),
+             "--iterations", "100", "--seed", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["analyze", "--dataset", str(ds), "--model", str(model),
+             "--g-size", "60", "--seed", "1", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT" in out
+        stats = pstats.Stats(str(model / "analyze_profile.pstats"))
+        assert stats.total_calls > 0
