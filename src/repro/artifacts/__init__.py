@@ -1,0 +1,29 @@
+"""Content-addressed artifact persistence for staged pipeline runs.
+
+:class:`~repro.artifacts.store.ArtifactStore` writes every run artifact
+atomically and records a SHA-256 digest for it;
+:class:`~repro.artifacts.manifest.RunManifest` keeps the per-stage
+records (fingerprints, output digests, timings, provenance) that let a
+re-run skip completed stages and a resumed run detect — rather than
+silently reuse — corrupt or missing artifacts.
+"""
+
+from repro.artifacts.manifest import MANIFEST_SCHEMA, RunManifest, StageRecord
+from repro.artifacts.store import (
+    ArtifactRecord,
+    ArtifactStore,
+    sha256_bytes,
+    sha256_file,
+    tree_digest,
+)
+
+__all__ = [
+    "ArtifactRecord",
+    "ArtifactStore",
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "StageRecord",
+    "sha256_bytes",
+    "sha256_file",
+    "tree_digest",
+]

@@ -1,0 +1,269 @@
+"""The run-directory artifact store: atomic writes + content digests.
+
+Generalizes the machinery pioneered by
+:class:`repro.dsp.cache.FeatureCache` (content addressing, tmp-file +
+rename atomicity, corrupt-entry detection) from one cache of feature
+matrices to *every* artifact a pipeline run produces.  Artifacts keep
+their human-readable paths inside the run directory (``dataset.npz``,
+``model/``, ``report.txt``, ...); what the store adds is:
+
+* every write goes through a temporary sibling and an atomic rename,
+  so a killed run never leaves a truncated artifact at a final path;
+* every write returns an :class:`ArtifactRecord` carrying the SHA-256
+  digest and size of what landed on disk, which the run manifest stores
+  and :meth:`ArtifactStore.verify` later checks — a stage output that
+  was tampered with, truncated, or deleted is *detected* and re-built,
+  never silently reused.
+
+Directory-valued artifacts (a serialized model) are digested as a tree:
+the digest covers every file's relative path and content, so any change
+anywhere inside invalidates the record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.utils.atomic import atomic_path
+
+_CHUNK = 1 << 20
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of *data*."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path) -> str:
+    """Hex SHA-256 of a file's content, streamed in 1 MiB chunks."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def tree_digest(root) -> tuple[str, int]:
+    """``(hex digest, total bytes)`` over a directory tree.
+
+    The digest covers each regular file's POSIX relative path and
+    content digest, visited in sorted order — two trees digest equal
+    iff they contain the same files with the same bytes.
+    """
+    root = Path(root)
+    h = hashlib.sha256()
+    total = 0
+    for path in sorted(p for p in root.rglob("*") if p.is_file()):
+        rel = path.relative_to(root).as_posix()
+        h.update(b"\x00file\x00")
+        h.update(rel.encode())
+        h.update(b"\x00")
+        h.update(sha256_file(path).encode())
+        total += path.stat().st_size
+    return h.hexdigest(), total
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One persisted artifact: where it lives and what its bytes hash to."""
+
+    path: str  #: POSIX path relative to the store root
+    digest: str  #: ``sha256:<hex>`` for files, ``tree:<hex>`` for directories
+    size: int  #: content bytes (sum over files for a tree)
+    kind: str  #: ``"file"`` or ``"tree"``
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "digest": self.digest,
+            "size": self.size,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArtifactRecord":
+        try:
+            return cls(
+                path=str(data["path"]),
+                digest=str(data["digest"]),
+                size=int(data["size"]),
+                kind=str(data["kind"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"malformed artifact record: {data!r}"
+            ) from exc
+
+
+class ArtifactStore:
+    """Atomic, digest-tracked artifact writes under one run directory."""
+
+    def __init__(self, root):
+        if not root:
+            raise ConfigurationError("artifact store root must be non-empty")
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+    def path(self, rel: str) -> Path:
+        """Absolute path of the artifact at *rel* (which must stay inside
+        the store root: no absolute paths, no ``..`` traversal)."""
+        rel_path = Path(rel)
+        if rel_path.is_absolute() or ".." in rel_path.parts:
+            raise ConfigurationError(
+                f"artifact path must be relative and inside the store: {rel!r}"
+            )
+        return self.root / rel_path
+
+    def exists(self, rel: str) -> bool:
+        return self.path(rel).exists()
+
+    # -- writes --------------------------------------------------------------
+    def put_bytes(self, rel: str, data: bytes) -> ArtifactRecord:
+        """Atomically write *data* at *rel*."""
+        path = self.path(rel)
+        with atomic_path(path) as tmp:
+            tmp.write_bytes(data)
+        return ArtifactRecord(
+            path=Path(rel).as_posix(),
+            digest=f"sha256:{sha256_bytes(data)}",
+            size=len(data),
+            kind="file",
+        )
+
+    def put_text(self, rel: str, text: str) -> ArtifactRecord:
+        return self.put_bytes(rel, text.encode("utf-8"))
+
+    def put_json(self, rel: str, obj) -> ArtifactRecord:
+        """Write *obj* as 2-space-indented JSON (trailing newline-free,
+        matching ``json.dumps`` — the historical artifact format)."""
+        return self.put_text(rel, json.dumps(obj, indent=2))
+
+    def put_file(self, rel: str, writer) -> ArtifactRecord:
+        """Have ``writer(tmp_path)`` build the file, then publish it.
+
+        The writer receives a temporary path (same suffix as *rel*, same
+        directory); on success the file is digested and atomically
+        renamed to its final path.  On failure nothing is published.
+        """
+        path = self.path(rel)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=path.suffix, dir=path.parent
+        )
+        os.close(fd)
+        try:
+            writer(Path(tmp))
+            digest = sha256_file(tmp)
+            size = os.path.getsize(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return ArtifactRecord(
+            path=Path(rel).as_posix(),
+            digest=f"sha256:{digest}",
+            size=size,
+            kind="file",
+        )
+
+    def put_tree(self, rel: str, builder) -> ArtifactRecord:
+        """Have ``builder(tmp_dir)`` populate a directory, then publish it.
+
+        The tree is built in a temporary sibling directory, digested,
+        and swapped into place (replacing any previous version).  The
+        swap is rename-based; should a crash land between removing the
+        old tree and renaming the new one, the manifest's digest check
+        catches the inconsistency on the next run and the stage re-runs.
+        """
+        path = self.path(rel)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".tmp-{path.name}-", dir=path.parent)
+        )
+        try:
+            builder(tmp)
+            digest, size = tree_digest(tmp)
+            if path.exists():
+                shutil.rmtree(path)
+            os.rename(tmp, path)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return ArtifactRecord(
+            path=Path(rel).as_posix(),
+            digest=f"tree:{digest}",
+            size=size,
+            kind="tree",
+        )
+
+    def snapshot(self, rel: str) -> ArtifactRecord:
+        """Digest whatever currently exists at *rel* (file or directory)."""
+        path = self.path(rel)
+        if path.is_dir():
+            digest, size = tree_digest(path)
+            return ArtifactRecord(
+                path=Path(rel).as_posix(),
+                digest=f"tree:{digest}",
+                size=size,
+                kind="tree",
+            )
+        if path.is_file():
+            return ArtifactRecord(
+                path=Path(rel).as_posix(),
+                digest=f"sha256:{sha256_file(path)}",
+                size=path.stat().st_size,
+                kind="file",
+            )
+        raise SerializationError(f"no artifact on disk at {path}")
+
+    # -- reads ---------------------------------------------------------------
+    def read_bytes(self, rel: str) -> bytes:
+        path = self.path(rel)
+        if not path.is_file():
+            raise SerializationError(f"no artifact on disk at {path}")
+        return path.read_bytes()
+
+    def read_text(self, rel: str) -> str:
+        return self.read_bytes(rel).decode("utf-8")
+
+    def read_json(self, rel: str):
+        try:
+            return json.loads(self.read_text(rel))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"corrupt JSON artifact {self.path(rel)}: {exc}"
+            ) from exc
+
+    # -- verification --------------------------------------------------------
+    def verify(self, record: ArtifactRecord) -> bool:
+        """``True`` iff the artifact on disk matches *record* exactly."""
+        path = self.path(record.path)
+        try:
+            if record.kind == "tree":
+                if not path.is_dir():
+                    return False
+                digest, size = tree_digest(path)
+                return f"tree:{digest}" == record.digest and size == record.size
+            if not path.is_file():
+                return False
+            if path.stat().st_size != record.size:
+                return False
+            return f"sha256:{sha256_file(path)}" == record.digest
+        except OSError:
+            return False
+
+    def __repr__(self):
+        return f"ArtifactStore({str(self.root)!r})"

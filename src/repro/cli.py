@@ -9,7 +9,10 @@ cached on disk) independently:
 * ``train``    — train a CGAN on a recorded dataset and save it;
 * ``analyze``  — load a trained CGAN + dataset and print the full
   security report;
-* ``table1``   — regenerate the paper's Table I for a trained model.
+* ``table1``   — regenerate the paper's Table I for a trained model;
+* ``experiment`` — run the whole staged pipeline into a resumable run
+  directory; ``experiment status <dir>`` and
+  ``experiment invalidate <dir> <stage>`` inspect and edit its manifest.
 
 Examples
 --------
@@ -19,6 +22,8 @@ Examples
     python -m repro.cli train --dataset run/dataset.npz --out run/model --iterations 2500
     python -m repro.cli analyze --dataset run/dataset.npz --model run/model
     python -m repro.cli table1 --dataset run/dataset.npz --model run/model
+    python -m repro.cli experiment --out run/exp --moves 8 --iterations 200
+    python -m repro.cli experiment status run/exp
 """
 
 from __future__ import annotations
@@ -254,6 +259,13 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    if not args.out:
+        print(
+            "error: --out is required to run an experiment "
+            "(see also 'experiment status' / 'experiment invalidate')",
+            file=sys.stderr,
+        )
+        return 2
     return _profiled(
         args, lambda: _run_experiment(args), Path(args.out) / "profile.pstats"
     )
@@ -277,15 +289,45 @@ def _run_experiment(args) -> int:
             chunk_size=args.chunk_size,
             trace=args.trace,
             feature_cache=args.feature_cache,
+            checkpoint_every=args.checkpoint_every,
         )
     bus = EventBus()
     if args.progress:
         bus.subscribe(ConsoleProgressReporter(show_epochs=False).handle)
-    result = run_experiment(config, args.out, bus=bus)
+    result = run_experiment(config, args.out, bus=bus, resume=args.resume)
     print(f"experiment artifacts written to {result.directory}")
     for key, value in result.summary.items():
         print(f"  {key}: {value}")
     return 0
+
+
+def _cmd_experiment_status(args) -> int:
+    from repro.pipeline.experiment import experiment_status
+
+    rows = experiment_status(args.dir)
+    if not rows:
+        print(f"no completed stages recorded under {args.dir}")
+        return 0
+    for row in rows:
+        state = "ok" if row["verified"] else "STALE"
+        print(
+            f"{row['stage']:<24} {state:<6} {row['seconds']:8.2f}s  "
+            f"fp={row['fingerprint']}  {', '.join(row['outputs'])}"
+        )
+    return 0
+
+
+def _cmd_experiment_invalidate(args) -> int:
+    from repro.pipeline.experiment import invalidate_stage
+
+    if invalidate_stage(args.dir, args.stage):
+        print(
+            f"invalidated stage {args.stage!r} in {args.dir}; the next "
+            "resumed run re-executes it and everything downstream"
+        )
+        return 0
+    print(f"no stage {args.stage!r} recorded in {args.dir}", file=sys.stderr)
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,8 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="run a full case-study experiment into an artifact directory",
     )
-    p.add_argument("--out", required=True, help="artifact directory")
+    p.add_argument("--out", help="artifact directory")
     p.add_argument("--config", help="JSON ExperimentConfig (overrides flags)")
+    resume_group = p.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--resume", dest="resume", action="store_true",
+        help="skip stages already up to date in --out (default)")
+    resume_group.add_argument(
+        "--fresh", dest="resume", action="store_false",
+        help="ignore any prior state in --out and re-run every stage")
+    p.set_defaults(resume=True)
+    p.add_argument("--checkpoint-every", type=int, default=500,
+                   help="training-checkpoint cadence in iterations "
+                        "(0 disables crash-recovery checkpoints)")
     p.add_argument("--moves", type=int, default=30)
     p.add_argument("--iterations", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
@@ -365,6 +418,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile; dump pstats to <out>/profile.pstats")
     p.set_defaults(func=_cmd_experiment)
+    exp_sub = p.add_subparsers(dest="action", metavar="{status,invalidate}")
+    ps = exp_sub.add_parser(
+        "status", help="show per-stage manifest state of a run directory"
+    )
+    ps.add_argument("dir", help="experiment run directory")
+    ps.set_defaults(func=_cmd_experiment_status)
+    pi = exp_sub.add_parser(
+        "invalidate",
+        help="drop a stage's record so the next resume re-runs it",
+    )
+    pi.add_argument("dir", help="experiment run directory")
+    pi.add_argument("stage", help="stage name (see 'experiment status')")
+    pi.set_defaults(func=_cmd_experiment_invalidate)
 
     p = sub.add_parser(
         "detect", help="evaluate integrity-attack detection (axis swap)"

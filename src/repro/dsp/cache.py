@@ -9,21 +9,20 @@ change to the audio, the frequency grid, the method, or the cache schema
 changes the key and misses.
 
 Entries are stored as ``.npy`` files written atomically (temp file +
-``os.replace``), so a crashed or concurrent writer can never leave a
-truncated entry behind; unreadable/corrupt entries are treated as
-misses and overwritten.
+``os.replace``, via :mod:`repro.utils.atomic`), so a crashed or
+concurrent writer can never leave a truncated entry behind;
+unreadable/corrupt entries are treated as misses and overwritten.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import tempfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.utils.atomic import atomic_path
 
 #: Bump when the on-disk layout or the feature semantics change: old
 #: entries then miss instead of returning stale matrices.
@@ -80,21 +79,10 @@ class FeatureCache:
     def put(self, key: str, matrix: np.ndarray) -> Path:
         """Atomically store *matrix* under *key*; returns the entry path."""
         matrix = np.asarray(matrix)
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        fd, tmp = tempfile.mkstemp(
-            prefix=".tmp-", suffix=".npy", dir=self.directory
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
+        with atomic_path(path, suffix=".npy") as tmp:
+            with open(tmp, "wb") as fh:
                 np.save(fh, matrix, allow_pickle=False)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
         return path
 
     # -- introspection --------------------------------------------------------

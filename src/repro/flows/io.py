@@ -8,21 +8,23 @@ import numpy as np
 
 from repro.errors import SerializationError
 from repro.flows.dataset import FlowPairDataset
+from repro.utils.atomic import atomic_path
 
 _FORMAT_VERSION = 1
 
 
 def save_dataset(dataset: FlowPairDataset, path) -> Path:
-    """Write *dataset* to ``path`` as an ``.npz`` archive."""
+    """Atomically write *dataset* to ``path`` as an ``.npz`` archive."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(
-        path,
-        features=dataset.features,
-        conditions=dataset.conditions,
-        name=np.frombuffer(dataset.name.encode(), dtype=np.uint8),
-        version=np.array([_FORMAT_VERSION]),
-    )
+    with atomic_path(path, suffix=".npz") as tmp:
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                features=dataset.features,
+                conditions=dataset.conditions,
+                name=np.frombuffer(dataset.name.encode(), dtype=np.uint8),
+                version=np.array([_FORMAT_VERSION]),
+            )
     return path
 
 

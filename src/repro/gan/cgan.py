@@ -19,6 +19,9 @@ Two generator objectives are supported:
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError, NotFittedError
@@ -46,6 +49,35 @@ def default_generator(feature_dim: int, hidden=(64, 64)) -> list:
     layers = [Dense(h, "relu", kernel_init="he_uniform") for h in hidden]
     layers.append(Dense(feature_dim, "sigmoid"))
     return layers
+
+
+@dataclass
+class TrainingCheckpointState:
+    """Position of a paused Algorithm 2 run inside one ``train()`` call.
+
+    Together with the network weights, optimizer state, and loss
+    history (serialized by
+    :func:`repro.gan.serialization.save_training_checkpoint`), this is
+    everything needed to continue training bitwise-identically to a run
+    that was never interrupted:
+
+    ``iteration``
+        Completed iterations of the current ``train()`` call.
+    ``total_iterations``
+        The ``iterations`` argument the interrupted call was made with.
+    ``rng_state_start``
+        Bit-generator state of the training RNG *before* the initial
+        dataset shuffle — replayed on resume so the shuffled base
+        ordering is reconstructed exactly.
+    ``rng_state_now``
+        Bit-generator state after ``iteration`` completed iterations —
+        the position the noise/mini-batch stream continues from.
+    """
+
+    iteration: int
+    total_iterations: int
+    rng_state_start: dict
+    rng_state_now: dict
 
 
 def default_discriminator(hidden=(64, 32)) -> list:
@@ -260,6 +292,9 @@ class ConditionalGAN:
         seed=None,
         progress=None,
         progress_every: int = 0,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
+        resume: TrainingCheckpointState | None = None,
     ) -> TrainingHistory:
         """Run Algorithm 2.
 
@@ -293,6 +328,21 @@ class ConditionalGAN:
             turns into :class:`~repro.runtime.events.EpochProgress`.
         progress_every:
             Callback cadence in iterations; 0 disables the callback.
+        checkpoint_every:
+            Cadence (in iterations) of the *on_checkpoint* callback;
+            0 disables checkpointing.  The final iteration never emits
+            a checkpoint (the finished model supersedes it).
+        on_checkpoint:
+            Optional callback ``on_checkpoint(state)`` receiving a
+            :class:`TrainingCheckpointState`; callers persist it (plus
+            weights/optimizers/history) to support crash recovery.
+        resume:
+            A :class:`TrainingCheckpointState` continuing an earlier,
+            interrupted call.  The caller must have restored weights,
+            optimizer state, and history first (see
+            :func:`repro.gan.serialization.restore_training_checkpoint`);
+            mutually exclusive with *seed*.  The continued run is
+            bitwise identical to one that was never interrupted.
         """
         if dataset.feature_dim != self.feature_dim:
             raise ConfigurationError(
@@ -315,17 +365,41 @@ class ConditionalGAN:
             raise ConfigurationError(
                 f"progress_every must be >= 0, got {progress_every}"
             )
-        if seed is not None:
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if resume is not None:
+            if seed is not None:
+                raise ConfigurationError(
+                    "pass either seed or resume to train(), not both"
+                )
+            if not 0 <= resume.iteration < iterations:
+                raise ConfigurationError(
+                    f"cannot resume at iteration {resume.iteration} of a "
+                    f"{iterations}-iteration run"
+                )
+            restored = np.random.default_rng()
+            restored.bit_generator.state = resume.rng_state_start
+            self._train_rng = restored
+        elif seed is not None:
             self._train_rng = as_rng(seed)
         rng = self._train_rng
+        rng_state_start = rng.bit_generator.state
 
         base = dataset.shuffled(seed=rng)
+        start_iteration = 0
+        if resume is not None:
+            # The shuffle above replayed the original permutation draw;
+            # now jump the stream to where the interrupted run stopped.
+            rng.bit_generator.state = resume.rng_state_now
+            start_iteration = resume.iteration
         # Mini-batches are gathered into fixed buffers (np.take) instead
         # of fancy-indexed copies — same RNG draw, same rows, no per-step
         # allocation.
         batch_bufs = self._step_buffers(batch_size)
         batch_out = (batch_bufs["real_x"], batch_bufs["real_c"])
-        for it in range(iterations):
+        for it in range(start_iteration, iterations):
             if data_fraction is not None:
                 frac = float(data_fraction(it))
                 if not 0.0 < frac <= 1.0:
@@ -363,6 +437,20 @@ class ConditionalGAN:
                 (it + 1) % progress_every == 0 or it + 1 == iterations
             ):
                 progress(it + 1, iterations, float(d_loss), float(g_loss))
+            if (
+                on_checkpoint is not None
+                and checkpoint_every
+                and (it + 1) % checkpoint_every == 0
+                and it + 1 < iterations
+            ):
+                on_checkpoint(
+                    TrainingCheckpointState(
+                        iteration=it + 1,
+                        total_iterations=iterations,
+                        rng_state_start=copy.deepcopy(rng_state_start),
+                        rng_state_now=rng.bit_generator.state,
+                    )
+                )
         return self.history
 
     # -- introspection ---------------------------------------------------------

@@ -79,9 +79,10 @@ class TrainingHistory:
         import csv
         from pathlib import Path
 
+        from repro.utils.atomic import atomic_open
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", newline="") as fh:
+        with atomic_open(path, "w") as fh:
             writer = csv.writer(fh)
             writer.writerow(
                 ["iteration", "d_loss", "g_loss", "g_objective", "n_train"]

@@ -4,6 +4,11 @@ method): Algorithm 1 → Algorithm 2 per flow pair → Algorithm 3 reports.
 Training fans out over the :mod:`repro.runtime` executors; pair
 identities are :class:`~repro.pipeline.pairs.FlowPairKey` values (plain
 tuples still work everywhere but are deprecated).
+
+Experiments execute as a :class:`~repro.pipeline.rungraph.RunGraph` of
+fingerprinted stages over a content-addressed artifact store, which is
+what makes :func:`run_experiment` resumable (see
+:func:`experiment_status` / :func:`invalidate_stage`).
 """
 
 from repro.pipeline.config import AnalysisConfig, CGANConfig, GANSecConfig
@@ -13,9 +18,18 @@ from repro.pipeline.pairs import (
     as_pair_key,
 )
 from repro.pipeline.gansec import GANSec, PairModel
+from repro.pipeline.rungraph import (
+    RunGraph,
+    Stage,
+    StageOutcome,
+    stage_fingerprint,
+)
+from repro.pipeline.stages import ExperimentRunContext, build_experiment_stages
 from repro.pipeline.experiment import (
     ExperimentConfig,
     ExperimentResult,
+    experiment_status,
+    invalidate_stage,
     run_experiment,
 )
 
@@ -24,11 +38,19 @@ __all__ = [
     "CGANConfig",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentRunContext",
     "FlowPairKey",
     "GANSec",
     "GANSecConfig",
     "PairDataRegistry",
     "PairModel",
+    "RunGraph",
+    "Stage",
+    "StageOutcome",
     "as_pair_key",
+    "build_experiment_stages",
+    "experiment_status",
+    "invalidate_stage",
     "run_experiment",
+    "stage_fingerprint",
 ]

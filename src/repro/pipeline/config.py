@@ -75,7 +75,11 @@ class GANSecConfig:
     bitwise-independent of the worker count.  ``progress_every``
     sets the cadence (in Algorithm 2 iterations) of
     :class:`~repro.runtime.events.EpochProgress` events; 0 disables
-    them.
+    them.  ``sample_cache_entries`` bounds the LRU cache of generated
+    condition samples shared across repeated ``analyze()`` calls (e.g.
+    h sweeps); eviction never changes the numbers because every entry
+    is re-derivable from the pipeline seed and the (pair, condition)
+    identity alone.
     """
 
     cgan: CGANConfig = field(default_factory=CGANConfig)
@@ -85,10 +89,16 @@ class GANSecConfig:
     executor: str | None = None
     analysis_workers: int = 1
     progress_every: int = 0
+    sample_cache_entries: int = 64
 
     def __post_init__(self):
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.sample_cache_entries < 1:
+            raise ConfigurationError(
+                "sample_cache_entries must be >= 1, got "
+                f"{self.sample_cache_entries}"
+            )
         if self.analysis_workers < 1:
             raise ConfigurationError(
                 f"analysis_workers must be >= 1, got {self.analysis_workers}"

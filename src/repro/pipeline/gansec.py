@@ -111,7 +111,19 @@ class GANSec:
         # Generated-sample LRU shared across analyze() calls: repeated
         # analyses (e.g. h sweeps) reuse each condition's draw because
         # the cache key excludes the Parzen bandwidth.
-        self._sample_cache = ConditionSampleCache()
+        self._sample_cache = ConditionSampleCache(
+            max_entries=self.config.sample_cache_entries
+        )
+
+    @property
+    def root_entropy(self) -> int:
+        """Root of the schedule-independent per-pair/per-job RNG fan-out.
+
+        Equals the configured seed when that is an int, so external
+        consumers (e.g. the staged experiment's split re-derivation)
+        can reproduce any derived stream.
+        """
+        return self._root_entropy
 
     # -- step 1: Algorithm 1 -----------------------------------------------------
     def generate_graph(self, data) -> GraphGenerationResult:
@@ -147,6 +159,7 @@ class GANSec:
         workers: int | None = None,
         executor=None,
         bus: EventBus | None = None,
+        checkpoint_plan: dict | None = None,
     ) -> dict[FlowPairKey, PairModel]:
         """Train one CGAN per covered flow pair (Algorithm 2).
 
@@ -168,6 +181,12 @@ class GANSec:
         bus:
             Optional :class:`~repro.runtime.events.EventBus` receiving
             the structured training events.
+        checkpoint_plan:
+            Optional ``pair key ->``
+            :class:`~repro.runtime.training.CheckpointSpec` mapping
+            enabling periodic crash-recovery checkpoints for those
+            pairs: a valid existing checkpoint is resumed from, and the
+            continued run is bitwise-identical to an uninterrupted one.
 
         Returns the mapping of pair keys to :class:`PairModel`.
 
@@ -202,6 +221,7 @@ class GANSec:
             executor if executor is not None else cfg.executor, workers
         )
         bus = bus if bus is not None else EventBus()
+        checkpoint_plan = checkpoint_plan or {}
         jobs = [
             PairTrainingJob(
                 key=key,
@@ -212,6 +232,7 @@ class GANSec:
                 index=i,
                 total=len(selected),
                 progress_every=cfg.progress_every or None,
+                checkpoint=checkpoint_plan.get(key),
             )
             for i, key in enumerate(selected)
         ]
@@ -412,11 +433,45 @@ class GANSec:
         *workers* / *executor* drive the Algorithm 2 training fan-out;
         *analysis_workers* (defaulting to ``config.analysis_workers``)
         drives the Algorithm 3 fan-out.  The shared *bus* receives both
-        stages' events.
+        stages' events — including the ``StageStarted`` /
+        ``StageCompleted`` lifecycle of the three Figure 4 steps, which
+        run as an ephemeral (in-memory, never-skipping)
+        :class:`~repro.pipeline.rungraph.RunGraph`.  The persistent,
+        resumable variant of this graph is
+        :func:`repro.pipeline.experiment.run_experiment`.
         """
-        self.generate_graph(data)
-        self.train_models(data, workers=workers, executor=executor, bus=bus)
-        return self.analyze(workers=analysis_workers, executor=executor, bus=bus)
+        from repro.pipeline.rungraph import RunGraph, Stage
+
+        registry = PairDataRegistry.coerce(data)
+        reports: dict[FlowPairKey, SecurityReport] = {}
+
+        def run_graph_stage(_ctx):
+            self.generate_graph(registry)
+            return {}, {"trainable_pairs": len(self.graph_result.trainable_pairs)}
+
+        def run_train_stage(_ctx):
+            self.train_models(registry, workers=workers, executor=executor, bus=bus)
+            return {}, {"trained": len(self.models)}
+
+        def run_analyze_stage(_ctx):
+            reports.update(
+                self.analyze(workers=analysis_workers, executor=executor, bus=bus)
+            )
+            return {}, {"analyzed": len(reports)}
+
+        graph = RunGraph(
+            [
+                Stage("graph", run=run_graph_stage),
+                Stage("train", run=run_train_stage, deps=("graph",)),
+                Stage("analyze", run=run_analyze_stage, deps=("train",)),
+            ],
+            store=None,
+            manifest=None,
+            bus=bus,
+            resume=False,
+        )
+        graph.execute(None)
+        return reports
 
     # -- persistence ----------------------------------------------------------
     @staticmethod

@@ -26,6 +26,9 @@ from repro.runtime.events import (
     PairFailed,
     PairTrained,
     RuntimeEvent,
+    StageCompleted,
+    StageSkipped,
+    StageStarted,
     TrainingFinished,
     TrainingStarted,
 )
@@ -43,6 +46,7 @@ from repro.runtime.reporters import (
     read_trace,
 )
 from repro.runtime.training import (
+    CheckpointSpec,
     PairTrainingJob,
     PairTrainingOutcome,
     build_pair_cgan,
@@ -56,6 +60,7 @@ __all__ = [
     "AnalysisJob",
     "AnalysisOutcome",
     "AnalysisStarted",
+    "CheckpointSpec",
     "ConditionSampleCache",
     "ConditionScored",
     "ConsoleProgressReporter",
@@ -70,6 +75,9 @@ __all__ = [
     "ProcessExecutor",
     "RuntimeEvent",
     "SerialExecutor",
+    "StageCompleted",
+    "StageSkipped",
+    "StageStarted",
     "ThreadExecutor",
     "TrainingFinished",
     "TrainingStarted",

@@ -19,6 +19,12 @@ Lifecycle of one :meth:`GANSec.analyze` batch (Algorithm 3)::
       ConditionScored*                   (once per (pair, condition) job)
     AnalysisCompleted                    (once, batch-level)
 
+A staged pipeline run (:func:`repro.pipeline.experiment.run_experiment`,
+:class:`repro.pipeline.rungraph.RunGraph`) wraps each stage in
+``StageStarted``/``StageCompleted`` — or emits a single ``StageSkipped``
+when the stage's fingerprint matched a prior run and its recorded
+outputs verified on disk.
+
 The bus is thread-safe: ``ThreadExecutor`` workers emit concurrently.
 Process-executor workers cannot reach the parent's bus, so their
 ``EpochProgress`` rows are recorded in the job result and replayed by
@@ -142,6 +148,38 @@ class AnalysisCompleted(RuntimeEvent):
     conditions: int
     seconds: float
     cache_hits: int
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class StageStarted(RuntimeEvent):
+    """A run-graph stage began executing (its fingerprint missed)."""
+
+    stage: str
+    fingerprint: str
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class StageSkipped(RuntimeEvent):
+    """A run-graph stage was skipped: fingerprint matched and every
+    recorded output artifact verified on disk."""
+
+    stage: str
+    fingerprint: str
+    outputs: tuple
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class StageCompleted(RuntimeEvent):
+    """A run-graph stage finished executing and its outputs were
+    recorded in the run manifest."""
+
+    stage: str
+    fingerprint: str
+    seconds: float
+    outputs: tuple
     timestamp: float = field(default_factory=_now)
 
 

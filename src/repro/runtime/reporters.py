@@ -8,6 +8,7 @@ itself; both are callable) and every training event is rendered live.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -19,6 +20,9 @@ from repro.runtime.events import (
     PairFailed,
     PairTrained,
     RuntimeEvent,
+    StageCompleted,
+    StageSkipped,
+    StageStarted,
     TrainingFinished,
     TrainingStarted,
 )
@@ -98,6 +102,12 @@ class ConsoleProgressReporter:
                 f"condition(s) in {event.seconds:.2f}s "
                 f"({event.cache_hits} cache hit(s))"
             )
+        if isinstance(event, StageStarted):
+            return f"stage {event.stage}: running"
+        if isinstance(event, StageSkipped):
+            return f"stage {event.stage}: up to date, skipped"
+        if isinstance(event, StageCompleted):
+            return f"stage {event.stage}: completed in {event.seconds:.2f}s"
         return None
 
 
@@ -106,17 +116,29 @@ class JsonlTraceWriter:
 
     Usable as a context manager; the file is opened lazily on the first
     event so constructing the writer never touches the filesystem.
+
+    With ``atomic=True`` the trace is streamed to a ``.partial`` sibling
+    and renamed onto the final path on :meth:`close` — so the final path
+    only ever holds a complete trace of a finished run (an interrupted
+    run leaves its partial trace visible under the ``.partial`` name).
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, atomic: bool = False):
         self.path = Path(path)
+        self.atomic = bool(atomic)
         self._fh = None
         self.events_written = 0
 
+    def _write_path(self) -> Path:
+        if self.atomic:
+            return self.path.with_name(self.path.name + ".partial")
+        return self.path
+
     def handle(self, event: RuntimeEvent) -> None:
         if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
+            target = self._write_path()
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = target.open("a", encoding="utf-8")
         self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
         self._fh.flush()
         self.events_written += 1
@@ -127,6 +149,8 @@ class JsonlTraceWriter:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+            if self.atomic:
+                os.replace(self._write_path(), self.path)
 
     def __enter__(self):
         return self

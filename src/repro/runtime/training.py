@@ -58,6 +58,20 @@ def pair_rng_streams(root_entropy: int, key: "FlowPairKey"):
     return derive_rngs(root_entropy, ("pair", key.first, key.second), 3)
 
 
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Where (and how often) one pair's training checkpoints live.
+
+    ``fingerprint`` is an opaque configuration token (typically the
+    training stage's run-graph fingerprint): a checkpoint written under
+    one fingerprint is never resumed under another.
+    """
+
+    directory: str
+    every: int
+    fingerprint: str = ""
+
+
 @dataclass
 class PairTrainingJob:
     """Everything needed to train one flow pair, picklable."""
@@ -70,6 +84,11 @@ class PairTrainingJob:
     index: int = 0
     total: int = 1
     progress_every: int | None = None
+    #: Optional crash-recovery checkpointing (see :class:`CheckpointSpec`).
+    #: When set, a valid existing checkpoint is resumed from and fresh
+    #: checkpoints are written every ``checkpoint.every`` iterations;
+    #: results are bitwise-identical either way.
+    checkpoint: CheckpointSpec | None = None
 
 
 @dataclass
@@ -109,24 +128,63 @@ def run_training_job(job: PairTrainingJob, emit=None) -> PairTrainingOutcome:
             emit(*row)
 
     try:
-        split_rng, train_rng, model_rng = pair_rng_streams(
-            job.root_entropy, job.key
-        )
-        train_set, test_set = job.dataset.split(
-            job.test_fraction, seed=split_rng
-        )
-        cgan = build_pair_cgan(
-            job.cgan, job.dataset.feature_dim, job.dataset.condition_dim, model_rng
-        )
+        def build():
+            split_rng, train_rng, model_rng = pair_rng_streams(
+                job.root_entropy, job.key
+            )
+            train_set, test_set = job.dataset.split(
+                job.test_fraction, seed=split_rng
+            )
+            cgan = build_pair_cgan(
+                job.cgan,
+                job.dataset.feature_dim,
+                job.dataset.condition_dim,
+                model_rng,
+            )
+            return train_set, test_set, cgan, train_rng
+
+        train_set, test_set, cgan, train_rng = build()
+
+        resume_state = None
+        on_checkpoint = None
+        if job.checkpoint is not None:
+            from repro.errors import SerializationError
+            from repro.gan.serialization import (
+                restore_training_checkpoint,
+                save_training_checkpoint,
+            )
+
+            spec = job.checkpoint
+            try:
+                resume_state = restore_training_checkpoint(
+                    cgan, spec.directory, expected_fingerprint=spec.fingerprint
+                )
+            except SerializationError:
+                # No usable checkpoint (absent, corrupt, or from another
+                # configuration).  A failed restore may have partially
+                # mutated the model, so rebuild everything from the
+                # deterministic streams and train from scratch.
+                resume_state = None
+                train_set, test_set, cgan, train_rng = build()
+            if spec.every > 0:
+                def on_checkpoint(state, _cgan=cgan, _spec=spec):
+                    save_training_checkpoint(
+                        _cgan, state, _spec.directory,
+                        fingerprint=_spec.fingerprint,
+                    )
+
         cgan.train(
             train_set,
             iterations=job.cgan.iterations,
             batch_size=job.cgan.batch_size,
             k_disc=job.cgan.k_disc,
             label_smoothing=job.cgan.label_smoothing,
-            seed=train_rng,
+            seed=None if resume_state is not None else train_rng,
             progress=record if job.progress_every else None,
             progress_every=job.progress_every or 0,
+            checkpoint_every=job.checkpoint.every if on_checkpoint else 0,
+            on_checkpoint=on_checkpoint,
+            resume=resume_state,
         )
         return PairTrainingOutcome(
             key=job.key,

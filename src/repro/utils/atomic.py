@@ -1,0 +1,77 @@
+"""Atomic filesystem writes: tmp file + ``os.replace``.
+
+Every on-disk artifact in this library (cache entries, experiment
+outputs, run manifests, training checkpoints) goes through these
+helpers so a crashed or killed writer can never leave a truncated file
+at the final path: content is staged in a temporary sibling inside the
+same directory (hence the same filesystem) and atomically renamed into
+place only once it is complete.
+
+Extracted from the original :class:`repro.dsp.cache.FeatureCache`
+implementation, which pioneered the pattern for ``.npy`` cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+
+@contextmanager
+def atomic_path(path, *, suffix: str = ""):
+    """Context manager yielding a temporary path that replaces *path*.
+
+    The temporary file lives next to *path* (``.tmp-*`` prefix) so the
+    final ``os.replace`` is atomic.  On any exception the temporary is
+    removed and the final path is untouched.
+
+    ::
+
+        with atomic_path(out / "weights.npz", suffix=".npz") as tmp:
+            np.savez(tmp, **arrays)
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=".tmp-", suffix=suffix or path.suffix, dir=path.parent
+    )
+    os.close(fd)
+    try:
+        yield Path(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path, data: bytes) -> Path:
+    """Atomically write *data* to *path*; returns the final path."""
+    path = Path(path)
+    with atomic_path(path) as tmp:
+        tmp.write_bytes(data)
+    return path
+
+
+def atomic_write_text(path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Atomically write *text* to *path*; returns the final path."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+@contextmanager
+def atomic_open(path, mode: str = "wb"):
+    """Open a temporary sibling of *path* for writing, then rename.
+
+    Like :func:`atomic_path` but yields an open file object (``"wb"``
+    or ``"w"`` modes), for writers that stream content.
+    """
+    if mode not in ("wb", "w"):
+        raise ValueError(f"atomic_open only supports 'w'/'wb', got {mode!r}")
+    with atomic_path(path) as tmp:
+        kwargs = {} if mode == "wb" else {"encoding": "utf-8", "newline": ""}
+        with open(tmp, mode, **kwargs) as fh:
+            yield fh

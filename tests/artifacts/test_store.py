@@ -1,0 +1,134 @@
+"""Tests for repro.artifacts.store (content-addressed artifact writes)."""
+
+import json
+
+import pytest
+
+from repro.artifacts.store import (
+    ArtifactRecord,
+    ArtifactStore,
+    sha256_bytes,
+    sha256_file,
+    tree_digest,
+)
+from repro.errors import ConfigurationError, SerializationError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path)
+
+
+class TestDigests:
+    def test_sha256_bytes_matches_file(self, tmp_path):
+        payload = b"gan-sec artifact bytes"
+        path = tmp_path / "blob.bin"
+        path.write_bytes(payload)
+        assert sha256_file(path) == sha256_bytes(payload)
+
+    def test_tree_digest_order_independent_of_creation(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for root, order in ((a, ("x.txt", "sub/y.txt")), (b, ("sub/y.txt", "x.txt"))):
+            for rel in order:
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(rel)
+        assert tree_digest(a) == tree_digest(b)
+
+    def test_tree_digest_sensitive_to_content_and_path(self, tmp_path):
+        root = tmp_path / "t"
+        root.mkdir()
+        (root / "x.txt").write_text("one")
+        base, _size = tree_digest(root)
+        (root / "x.txt").write_text("two")
+        assert tree_digest(root)[0] != base
+        (root / "x.txt").write_text("one")
+        (root / "x.txt").rename(root / "y.txt")
+        assert tree_digest(root)[0] != base
+
+
+class TestWrites:
+    def test_put_bytes_roundtrip_and_verify(self, store):
+        record = store.put_bytes("report.txt", b"hello")
+        assert record.path == "report.txt"
+        assert record.kind == "file"
+        assert record.size == 5
+        assert store.read_bytes("report.txt") == b"hello"
+        assert store.verify(record)
+
+    def test_put_json_matches_historical_format(self, store):
+        store.put_json("summary.json", {"a": 1})
+        # Same bytes json.dumps(indent=2) produced before the store existed.
+        assert store.read_text("summary.json") == json.dumps({"a": 1}, indent=2)
+
+    def test_put_file_publishes_only_on_success(self, store, tmp_path):
+        with pytest.raises(RuntimeError):
+            store.put_file("data.npz", lambda p: (_ for _ in ()).throw(RuntimeError()))
+        assert not store.exists("data.npz")
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_put_tree_replaces_previous_version(self, store):
+        def build_v1(d):
+            (d / "w.txt").write_text("v1")
+            (d / "old.txt").write_text("stale")
+
+        def build_v2(d):
+            (d / "w.txt").write_text("v2")
+
+        store.put_tree("model", build_v1)
+        record = store.put_tree("model", build_v2)
+        assert store.read_text("model/w.txt") == "v2"
+        assert not store.exists("model/old.txt")
+        assert store.verify(record)
+
+    def test_snapshot_file_and_tree(self, store):
+        store.put_bytes("f.bin", b"xy")
+        snap = store.snapshot("f.bin")
+        assert snap.kind == "file" and snap.size == 2
+        store.put_tree("d", lambda p: (p / "a").write_text("a"))
+        assert store.snapshot("d").kind == "tree"
+        with pytest.raises(SerializationError):
+            store.snapshot("missing")
+
+
+class TestVerify:
+    def test_tampered_file_fails_verify(self, store):
+        record = store.put_bytes("x.txt", b"abcd")
+        store.path("x.txt").write_bytes(b"abcX")  # same size, new bytes
+        assert not store.verify(record)
+
+    def test_missing_file_fails_verify(self, store):
+        record = store.put_bytes("x.txt", b"abcd")
+        store.path("x.txt").unlink()
+        assert not store.verify(record)
+
+    def test_tampered_tree_fails_verify(self, store):
+        record = store.put_tree("m", lambda d: (d / "w").write_text("w"))
+        (store.path("m") / "w").write_text("W")
+        assert not store.verify(record)
+
+
+class TestPathSafety:
+    def test_rejects_absolute_paths(self, store):
+        with pytest.raises(ConfigurationError):
+            store.path("/etc/passwd")
+
+    def test_rejects_traversal(self, store):
+        with pytest.raises(ConfigurationError):
+            store.path("../outside.txt")
+
+
+class TestRecordSerialization:
+    def test_roundtrip(self):
+        record = ArtifactRecord(path="a", digest="sha256:ff", size=1, kind="file")
+        assert ArtifactRecord.from_dict(record.to_dict()) == record
+
+    def test_malformed_raises(self):
+        with pytest.raises(SerializationError):
+            ArtifactRecord.from_dict({"path": "a"})
+
+    def test_read_json_corrupt_raises(self, store):
+        store.put_bytes("bad.json", b"{not json")
+        with pytest.raises(SerializationError):
+            store.read_json("bad.json")

@@ -53,6 +53,22 @@ class TestTrainStep:
         assert model.cgan.is_trained
 
 
+class TestRunStageEvents:
+    def test_run_emits_stage_lifecycle(self, case_dataset, fast_config):
+        from repro.runtime.events import EventBus, StageCompleted, StageStarted
+
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        pipe = GANSec(printer_architecture(), fast_config)
+        reports = pipe.run({("F18", GCODE_FLOW): case_dataset}, bus=bus)
+        started = [e.stage for e in events if isinstance(e, StageStarted)]
+        completed = [e.stage for e in events if isinstance(e, StageCompleted)]
+        assert started == ["graph", "train", "analyze"]
+        assert completed == started
+        assert ("F18", GCODE_FLOW) in reports
+
+
 class TestAnalyzeStep:
     def test_reports_produced(self, pipeline_run):
         _pipe, reports = pipeline_run

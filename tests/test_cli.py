@@ -104,6 +104,66 @@ class TestExperimentCommand:
         assert "attack_accuracy" in text
         assert (out / "summary.json").exists()
         assert (out / "report.txt").exists()
+        assert (out / "manifest.json").exists()
+
+    def test_missing_out_is_an_error(self, capsys):
+        assert main(["experiment"]) == 2
+        assert "--out is required" in capsys.readouterr().err
+
+    def test_resume_and_fresh_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "--out", "x", "--resume", "--fresh"]
+            )
+
+    def test_resume_defaults_on(self):
+        args = build_parser().parse_args(["experiment", "--out", "x"])
+        assert args.resume is True
+        args = build_parser().parse_args(["experiment", "--out", "x", "--fresh"])
+        assert args.resume is False
+
+
+class TestExperimentStatusAndInvalidate:
+    @pytest.fixture(scope="class")
+    def rundir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("exp-status") / "run"
+        assert main(
+            ["experiment", "--out", str(out), "--moves", "6",
+             "--iterations", "60", "--seed", "4"]
+        ) == 0
+        return out
+
+    def test_status_lists_stages(self, rundir, capsys):
+        assert main(["experiment", "status", str(rundir)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("record", "graph", "train[F18|F1]",
+                      "analyze[F18|F1]", "report"):
+            assert stage in out
+        assert "STALE" not in out
+
+    def test_status_empty_dir(self, tmp_path, capsys):
+        assert main(["experiment", "status", str(tmp_path)]) == 0
+        assert "no completed stages" in capsys.readouterr().out
+
+    def test_invalidate_then_resume_reruns_stage(self, rundir, capsys):
+        assert main(["experiment", "invalidate", str(rundir), "report"]) == 0
+        assert "invalidated" in capsys.readouterr().out
+        assert main(["experiment", "status", str(rundir)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert not any(line.startswith("report ") for line in lines)
+
+        assert main(
+            ["experiment", "--out", str(rundir), "--moves", "6",
+             "--iterations", "60", "--seed", "4"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["experiment", "status", str(rundir)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert any(line.startswith("report ") for line in lines)
+
+    def test_invalidate_unknown_stage_fails(self, rundir, capsys):
+        assert main(["experiment", "invalidate", str(rundir), "bogus"]) == 1
+        assert "bogus" in capsys.readouterr().err
 
 
 class TestFeatureCacheFlag:
