@@ -13,6 +13,9 @@ cached on disk) independently:
 * ``experiment`` — run the whole staged pipeline into a resumable run
   directory; ``experiment status <dir>`` and
   ``experiment invalidate <dir> <stage>`` inspect and edit its manifest.
+* ``stream``   — run the online attack detector over a replayed WAV or
+  synthetic printer trace, real-time or max-rate, printing live alarms
+  and a throughput summary.
 
 Examples
 --------
@@ -24,6 +27,8 @@ Examples
     python -m repro.cli table1 --dataset run/dataset.npz --model run/model
     python -m repro.cli experiment --out run/exp --moves 8 --iterations 200
     python -m repro.cli experiment status run/exp
+    python -m repro.cli stream --synthetic --attack-spans 2 --rate max --progress
+    python -m repro.cli stream --wav trace.wav --claims claims.json --rate realtime
 """
 
 from __future__ import annotations
@@ -258,6 +263,165 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _load_claim_track(path):
+    """Read a ClaimTrack from a JSON file.
+
+    Schema::
+
+        {
+          "boundaries": [0, 4800, ...],        # span start samples
+          "span_conditions": [0, 1, ...],      # index into "conditions"
+          "conditions": [[1,0,0], [0,1,0], ...]
+        }
+    """
+    import json
+
+    from repro.streaming import ClaimTrack
+
+    spec = json.loads(Path(path).read_text())
+    missing = {"boundaries", "span_conditions", "conditions"} - set(spec)
+    if missing:
+        raise SystemExit(f"error: claims file {path} missing keys {sorted(missing)}")
+    return ClaimTrack(
+        np.asarray(spec["boundaries"], dtype=np.int64),
+        np.asarray(spec["span_conditions"], dtype=np.int64),
+        np.asarray(spec["conditions"], dtype=float),
+    )
+
+
+def _cmd_stream(args) -> int:
+    import json
+
+    from repro.runtime.events import EventBus
+    from repro.runtime.reporters import ConsoleProgressReporter
+    from repro.streaming import (
+        StreamSession,
+        TraceReplay,
+        calibrate_stream_monitor,
+        inject_claim_attack,
+        synthetic_printer_stream,
+    )
+
+    if bool(args.wav) == bool(args.synthetic):
+        print("error: exactly one of --wav or --synthetic is required", file=sys.stderr)
+        return 2
+
+    sampler = None
+    if args.model:
+        sampler = load_cgan(args.model)
+
+    if args.synthetic:
+        scenario = synthetic_printer_stream(
+            n_moves_per_axis=args.moves, seed=args.seed, n_bins=args.bins
+        )
+        samples, sample_rate = scenario.samples, scenario.sample_rate
+        cal_samples, cal_claims = samples, scenario.claims
+        claims = scenario.claims
+        attacked_spans = []
+        if args.attack_spans > 0:
+            attacked = inject_claim_attack(
+                scenario, n_spans=args.attack_spans, seed=args.seed
+            )
+            claims = attacked.claims
+            attacked_spans = attacked.attacked_spans
+    else:
+        from repro.manufacturing.wav import read_wav
+
+        trace = read_wav(args.wav)
+        samples, sample_rate = trace.samples, trace.sample_rate
+        claims = _load_claim_track(args.claims)
+        if args.calibration_wav:
+            cal = read_wav(args.calibration_wav)
+            cal_samples = cal.samples
+            cal_claims = _load_claim_track(args.calibration_claims or args.claims)
+        else:
+            cal_samples, cal_claims = samples, claims
+        attacked_spans = []
+
+    calibration = calibrate_stream_monitor(
+        cal_samples,
+        sample_rate,
+        cal_claims,
+        window_size=args.window,
+        hop_size=args.hop,
+        n_bins=args.bins,
+        sampler=sampler,
+        h=args.h,
+        g_size=args.g_size,
+        root_entropy=args.seed,
+        detector=args.detector,
+        drift=args.drift,
+        threshold=args.threshold,
+    )
+
+    bus = EventBus()
+    if args.progress:
+        bus.subscribe(ConsoleProgressReporter(show_epochs=False).handle)
+    session = StreamSession(
+        TraceReplay(
+            samples,
+            sample_rate,
+            chunk_size=args.chunk_size,
+            rate=args.rate,
+            speedup=args.speedup,
+        ),
+        extractor=calibration.extractor,
+        scorer=calibration.scorer,
+        claims=claims,
+        detector=calibration.make_detector(),
+        window_size=args.window,
+        hop_size=args.hop,
+        sample_rate=sample_rate,
+        batch_windows=args.batch_windows,
+        queue_chunks=args.queue_chunks,
+        policy=args.policy.replace("-", "_"),
+        bus=bus,
+        name=args.name,
+    )
+    metrics = session.run()
+
+    summary = metrics.to_dict()
+    summary["window_size"] = args.window
+    summary["hop_size"] = args.hop
+    summary["rate"] = args.rate
+    summary["attacked_spans"] = attacked_spans
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"stream metrics -> {out}")
+    lat = metrics.latency_percentiles()
+    print(
+        f"stream {metrics.stream}: {metrics.windows_scored} windows scored, "
+        f"{len(metrics.alarms)} alarm(s), {metrics.windows_dropped} dropped, "
+        f"{metrics.windows_failed} failed"
+    )
+    print(
+        f"  throughput {metrics.windows_per_second:.0f} win/s "
+        f"({metrics.realtime_factor:.1f}x real time), scoring latency "
+        f"p50={lat['p50_ms']:.1f}ms p95={lat['p95_ms']:.1f}ms"
+    )
+    if metrics.alarms:
+        print(f"  alarm windows: {metrics.alarms}")
+
+    rc = 0
+    if metrics.error:
+        print("stream producer error:", metrics.error.strip().splitlines()[-1],
+              file=sys.stderr)
+        rc = 1
+    if args.expect_detection and not metrics.alarms:
+        print("FAIL: --expect-detection but no alarm fired", file=sys.stderr)
+        rc = 1
+    if args.max_dropped is not None and metrics.windows_dropped > args.max_dropped:
+        print(
+            f"FAIL: {metrics.windows_dropped} windows dropped "
+            f"(--max-dropped {args.max_dropped})",
+            file=sys.stderr,
+        )
+        rc = 1
+    return rc
+
+
 def _cmd_experiment(args) -> int:
     if not args.out:
         print(
@@ -431,6 +595,64 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("dir", help="experiment run directory")
     pi.add_argument("stage", help="stage name (see 'experiment status')")
     pi.set_defaults(func=_cmd_experiment_invalidate)
+
+    p = sub.add_parser(
+        "stream",
+        help="run the online attack detector over a replayed trace",
+    )
+    src_group = p.add_mutually_exclusive_group()
+    src_group.add_argument("--wav", help="monitor a recorded WAV trace")
+    src_group.add_argument("--synthetic", action="store_true",
+                           help="monitor a synthetic printer trace")
+    p.add_argument("--claims", help="claimed-condition JSON for --wav "
+                                    "(boundaries/span_conditions/conditions)")
+    p.add_argument("--calibration-wav",
+                   help="clean reference WAV for calibration "
+                        "(default: the monitored trace itself)")
+    p.add_argument("--calibration-claims",
+                   help="claims JSON for --calibration-wav")
+    p.add_argument("--model", help="trained CGAN directory; omitted = "
+                                   "empirical per-condition calibration")
+    p.add_argument("--moves", type=int, default=4,
+                   help="synthetic mode: calibration moves per axis")
+    p.add_argument("--attack-spans", type=int, default=2,
+                   help="synthetic mode: G-code spans with forged claims "
+                        "(0 = clean run)")
+    p.add_argument("--window", type=int, default=600,
+                   help="analysis window in samples")
+    p.add_argument("--hop", type=int, default=300, help="hop in samples")
+    p.add_argument("--bins", type=int, default=100, help="frequency bins")
+    p.add_argument("--h", type=float, default=0.2, help="Parzen window width")
+    p.add_argument("--g-size", type=int, default=128,
+                   help="density samples per condition")
+    p.add_argument("--detector", choices=("cusum", "ewma"), default="cusum")
+    p.add_argument("--drift", type=float, default=0.5,
+                   help="CUSUM per-window allowance (z units)")
+    p.add_argument("--threshold", type=float, default=10.0,
+                   help="decision-layer alarm threshold")
+    p.add_argument("--chunk-size", type=int, default=1024,
+                   help="replay chunk size in samples")
+    p.add_argument("--rate", choices=("max", "realtime"), default="max",
+                   help="replay pacing")
+    p.add_argument("--speedup", type=float, default=1.0,
+                   help="realtime pacing multiplier")
+    p.add_argument("--batch-windows", type=int, default=32,
+                   help="windows per scoring batch")
+    p.add_argument("--queue-chunks", type=int, default=16,
+                   help="bounded chunk-queue capacity")
+    p.add_argument("--policy", choices=("block", "drop-oldest"),
+                   default="block", help="backpressure policy")
+    p.add_argument("--name", default="stream", help="stream label in events")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--progress", action="store_true",
+                   help="print live stream events to stderr")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the session metrics JSON here")
+    p.add_argument("--expect-detection", action="store_true",
+                   help="exit 1 unless at least one alarm fired")
+    p.add_argument("--max-dropped", type=int, default=None,
+                   help="exit 1 if more than this many windows were dropped")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser(
         "detect", help="evaluate integrity-attack detection (axis swap)"

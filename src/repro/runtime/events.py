@@ -19,6 +19,15 @@ Lifecycle of one :meth:`GANSec.analyze` batch (Algorithm 3)::
       ConditionScored*                   (once per (pair, condition) job)
     AnalysisCompleted                    (once, batch-level)
 
+Lifecycle of one :class:`repro.streaming.StreamSession` run::
+
+    StreamStarted                        (once)
+      WindowBatchScored*                 (per scored window batch)
+      WindowBatchFailed*                 (per batch whose scoring raised)
+      WindowsDropped*                    (per backpressure drop burst)
+      AttackDetected*                    (per decision-layer alarm)
+    StreamFinished                       (once, also after failures)
+
 A staged pipeline run (:func:`repro.pipeline.experiment.run_experiment`,
 :class:`repro.pipeline.rungraph.RunGraph`) wraps each stage in
 ``StageStarted``/``StageCompleted`` — or emits a single ``StageSkipped``
@@ -180,6 +189,84 @@ class StageCompleted(RuntimeEvent):
     fingerprint: str
     seconds: float
     outputs: tuple
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class StreamStarted(RuntimeEvent):
+    """A streaming detection session began consuming samples."""
+
+    stream: str
+    sample_rate: float
+    window_size: int
+    hop_size: int
+    policy: str
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class WindowBatchScored(RuntimeEvent):
+    """One batch of stream windows was featureized and scored."""
+
+    stream: str
+    first_window: int
+    n_windows: int
+    seconds: float
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class WindowBatchFailed(RuntimeEvent):
+    """Scoring one batch of windows raised (isolated, not fatal)."""
+
+    stream: str
+    first_window: int
+    n_windows: int
+    error: str
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class WindowsDropped(RuntimeEvent):
+    """Backpressure dropped stream samples before they were windowed.
+
+    ``est_windows`` is a lower bound on complete windows lost — drops
+    are never silent."""
+
+    stream: str
+    samples: int
+    est_windows: int
+    policy: str
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class AttackDetected(RuntimeEvent):
+    """The sequential decision layer raised an integrity/availability alarm."""
+
+    stream: str
+    window_index: int
+    time_seconds: float
+    score: float
+    statistic: float
+    threshold: float
+    detector: str
+    claimed_condition: tuple
+    timestamp: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class StreamFinished(RuntimeEvent):
+    """The streaming session drained and stopped (maybe with an error)."""
+
+    stream: str
+    windows_scored: int
+    windows_failed: int
+    windows_dropped: int
+    alarms: int
+    seconds: float
+    windows_per_second: float
+    error: str | None = None
     timestamp: float = field(default_factory=_now)
 
 

@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.runtime.events import (
     AnalysisCompleted,
     AnalysisStarted,
+    AttackDetected,
     ConditionScored,
     EpochProgress,
     PairFailed,
@@ -23,8 +24,12 @@ from repro.runtime.events import (
     StageCompleted,
     StageSkipped,
     StageStarted,
+    StreamFinished,
+    StreamStarted,
     TrainingFinished,
     TrainingStarted,
+    WindowBatchFailed,
+    WindowsDropped,
 )
 
 
@@ -101,6 +106,39 @@ class ConsoleProgressReporter:
                 f"analysis done: {event.pairs} pair(s), {event.conditions} "
                 f"condition(s) in {event.seconds:.2f}s "
                 f"({event.cache_hits} cache hit(s))"
+            )
+        if isinstance(event, StreamStarted):
+            return (
+                f"stream {event.stream}: online detection at "
+                f"{event.sample_rate:g} Hz (window {event.window_size}, "
+                f"hop {event.hop_size}, {event.policy} backpressure)"
+            )
+        if isinstance(event, AttackDetected):
+            return (
+                f"  !! {event.stream}: ATTACK at window {event.window_index} "
+                f"(t={event.time_seconds:.2f}s, score={event.score:.3f}, "
+                f"{event.detector} S={event.statistic:.2f}>"
+                f"{event.threshold:g}, claim={list(event.claimed_condition)})"
+            )
+        if isinstance(event, WindowsDropped):
+            return (
+                f"  {event.stream}: dropped {event.samples} samples "
+                f"(>= {event.est_windows} window(s), {event.policy} policy)"
+            )
+        if isinstance(event, WindowBatchFailed):
+            reason = event.error.strip().splitlines()[-1] if event.error else "?"
+            return (
+                f"  {event.stream}: scoring FAILED for windows "
+                f"{event.first_window}..{event.first_window + event.n_windows - 1}: "
+                f"{reason}"
+            )
+        if isinstance(event, StreamFinished):
+            tail = f" [producer error: {event.error.strip().splitlines()[-1]}]" if event.error else ""
+            return (
+                f"stream {event.stream}: {event.windows_scored} window(s) scored, "
+                f"{event.windows_failed} failed, {event.windows_dropped} dropped, "
+                f"{event.alarms} alarm(s) in {event.seconds:.2f}s "
+                f"({event.windows_per_second:.0f} win/s){tail}"
             )
         if isinstance(event, StageStarted):
             return f"stage {event.stage}: running"

@@ -3,9 +3,19 @@
 Expensive artifacts (the simulated case-study dataset and a trained
 CGAN) are session-scoped: the printer simulation and GAN training run
 once and are reused by every test that needs realistic data.
+
+The trained CGAN is additionally cached on disk (under pytest's cache
+directory) behind a key derived from the training data, the
+hyperparameters, and the training source code — so repeated local runs
+and CI re-runs skip the ~20 s of GAN training entirely.  Any change to
+the dataset, the trainer, or the numeric kernels changes the key and
+forces a retrain; stale weights are never reused.
 """
 
 from __future__ import annotations
+
+import hashlib
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -13,6 +23,13 @@ import pytest
 from repro.flows.dataset import FlowPairDataset
 from repro.gan import ConditionalGAN
 from repro.manufacturing import record_case_study_dataset
+
+_CGAN_TRAIN_PARAMS = {"seed": 7, "iterations": 600, "batch_size": 32}
+
+#: Source files whose behavior the trained weights depend on.  Hashing
+#: them into the cache key invalidates cached weights whenever the
+#: trainer or its numeric kernels change.
+_CGAN_SOURCE_DEPS = ("gan", "nn")
 
 
 @pytest.fixture(scope="session")
@@ -31,11 +48,45 @@ def case_split(case_dataset):
     return case_dataset.split(0.3, seed=99)
 
 
+def _trained_cgan_cache_key(train: FlowPairDataset) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(train.features).tobytes())
+    digest.update(np.ascontiguousarray(train.conditions).tobytes())
+    digest.update(repr(sorted(_CGAN_TRAIN_PARAMS.items())).encode())
+    src_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    for package in _CGAN_SOURCE_DEPS:
+        for path in sorted((src_root / package).rglob("*.py")):
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:32]
+
+
 @pytest.fixture(scope="session")
-def trained_cgan(case_split):
+def trained_cgan(case_split, request):
+    """A CGAN trained on the case-study split, cached on disk by key.
+
+    Weights round-trip exactly through ``save_cgan``/``load_cgan``
+    (float64 ``.npz``), and every test that samples from the fixture
+    passes an explicit seed, so a cache hit is observationally
+    identical to a fresh training run.
+    """
+    from repro.gan.serialization import load_cgan, save_cgan
+
     train, _test = case_split
-    cgan = ConditionalGAN(train.feature_dim, train.condition_dim, seed=7)
-    cgan.train(train, iterations=600, batch_size=32)
+    cache_root = request.config.cache.mkdir("gansec-trained-cgan")
+    model_dir = Path(cache_root) / _trained_cgan_cache_key(train)
+    if (model_dir / "cgan.json").exists():
+        try:
+            return load_cgan(model_dir)
+        except Exception:
+            pass  # corrupt cache entry: retrain below and overwrite
+    cgan = ConditionalGAN(train.feature_dim, train.condition_dim,
+                          seed=_CGAN_TRAIN_PARAMS["seed"])
+    cgan.train(
+        train,
+        iterations=_CGAN_TRAIN_PARAMS["iterations"],
+        batch_size=_CGAN_TRAIN_PARAMS["batch_size"],
+    )
+    save_cgan(cgan, model_dir)
     return cgan
 
 

@@ -20,6 +20,11 @@ from repro.pipeline.experiment import (
 )
 from repro.runtime.events import EventBus, StageSkipped, StageStarted
 
+# End-to-end interrupt/resume runs the full staged pipeline repeatedly;
+# excluded from the default tier (see pyproject addopts), CI runs them
+# in a dedicated `-m slow` job.
+pytestmark = pytest.mark.slow
+
 CFG_KWARGS = dict(
     name="resume-test",
     seed=5,

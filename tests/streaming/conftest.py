@@ -1,0 +1,61 @@
+"""Shared streaming fixtures.
+
+The equivalence and fault-injection tests need a fitted monitor but not
+a realistic printer: a two-condition noise trace calibrates in well
+under a second, so the hypothesis property tests can afford many
+examples.  The golden tests build the full synthetic printer scenario
+themselves (see ``tests/streaming/golden``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import ClaimTrack, calibrate_stream_monitor
+
+SAMPLE_RATE = 12000.0
+WINDOW = 256
+HOP = 128
+
+
+def make_noise_trace(n_samples: int = 6400, seed: int = 7):
+    """Two alternating noise regimes with a matching claim track."""
+    rng = np.random.default_rng(seed)
+    quarter = n_samples // 4
+    spans = []
+    boundaries = []
+    span_conditions = []
+    cursor = 0
+    for i in range(4):
+        n = quarter if i < 3 else n_samples - 3 * quarter
+        cond = i % 2
+        scale = 1.0 if cond == 0 else 2.5
+        spans.append(rng.normal(0.0, scale, size=n))
+        boundaries.append(cursor)
+        span_conditions.append(cond)
+        cursor += n
+    samples = np.concatenate(spans)
+    claims = ClaimTrack(
+        np.array(boundaries), np.array(span_conditions), np.eye(2)
+    )
+    return samples, claims
+
+
+@pytest.fixture(scope="session")
+def noise_monitor():
+    """``(samples, claims, calibration)`` for a cheap fitted monitor."""
+    samples, claims = make_noise_trace()
+    calibration = calibrate_stream_monitor(
+        samples,
+        SAMPLE_RATE,
+        claims,
+        window_size=WINDOW,
+        hop_size=HOP,
+        n_bins=12,
+        g_size=32,
+        root_entropy=11,
+        drift=0.5,
+        threshold=8.0,
+    )
+    return samples, claims, calibration

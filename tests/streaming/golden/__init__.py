@@ -1,0 +1,142 @@
+"""Golden regression fixtures for the streaming attack detector.
+
+``fixture.json`` pins the per-window scores and CUSUM alarm times of a
+fixed-seed synthetic printer trace with two forged-claim spans, scored
+through the streaming monitor calibration.  Because streaming output is
+bitwise identical to the offline oracle, this one fixture regresses the
+whole online path: windowing, batched CWT extraction, Parzen scoring,
+and the sequential decision layer.
+
+Regenerate (only after an intentional numerical change) with::
+
+    PYTHONPATH=src python -m tests.streaming.golden --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.streaming import (
+    calibrate_stream_monitor,
+    inject_claim_attack,
+    offline_stream_scores,
+    synthetic_printer_stream,
+)
+
+FIXTURE_PATH = Path(__file__).parent / "fixture.json"
+
+#: Everything that pins the scenario.  Changing any of these requires
+#: regenerating the fixture.
+GOLDEN_ROOT_ENTROPY = 20190325
+GOLDEN_SCENARIO_SEED = 20190325
+GOLDEN_ATTACK_SEED = 7
+GOLDEN_MOVES = 2
+GOLDEN_WINDOW = 600
+GOLDEN_HOP = 300
+GOLDEN_G_SIZE = 64
+GOLDEN_N_SPANS = 2
+GOLDEN_DRIFT = 0.5
+GOLDEN_THRESHOLD = 10.0
+
+
+def golden_scenario():
+    """``(clean_scenario, attacked_scenario)`` — seed-pinned printer run."""
+    clean = synthetic_printer_stream(
+        n_moves_per_axis=GOLDEN_MOVES, seed=GOLDEN_SCENARIO_SEED
+    )
+    attacked = inject_claim_attack(
+        clean, n_spans=GOLDEN_N_SPANS, seed=GOLDEN_ATTACK_SEED
+    )
+    return clean, attacked
+
+
+def golden_calibration(scenario):
+    """The monitor fitted on the clean trace with true claims."""
+    return calibrate_stream_monitor(
+        scenario.samples,
+        scenario.sample_rate,
+        scenario.claims,
+        window_size=GOLDEN_WINDOW,
+        hop_size=GOLDEN_HOP,
+        g_size=GOLDEN_G_SIZE,
+        root_entropy=GOLDEN_ROOT_ENTROPY,
+        drift=GOLDEN_DRIFT,
+        threshold=GOLDEN_THRESHOLD,
+    )
+
+
+def compute_golden() -> dict:
+    """Recompute the pinned scores/alarms with the offline oracle."""
+    clean, attacked = golden_scenario()
+    calibration = golden_calibration(clean)
+    out = {
+        "root_entropy": GOLDEN_ROOT_ENTROPY,
+        "scenario_seed": GOLDEN_SCENARIO_SEED,
+        "attack_seed": GOLDEN_ATTACK_SEED,
+        "moves": GOLDEN_MOVES,
+        "window_size": GOLDEN_WINDOW,
+        "hop_size": GOLDEN_HOP,
+        "g_size": GOLDEN_G_SIZE,
+        "drift": GOLDEN_DRIFT,
+        "threshold": GOLDEN_THRESHOLD,
+        "n_samples": int(len(clean.samples)),
+        "attacked_spans": [int(i) for i in attacked.attacked_spans],
+        "traces": {},
+    }
+    for name, scenario in (("clean", clean), ("attacked", attacked)):
+        scores, starts, alarms = offline_stream_scores(
+            scenario.samples,
+            scenario.claims,
+            calibration,
+            window_size=GOLDEN_WINDOW,
+            hop_size=GOLDEN_HOP,
+        )
+        out["traces"][name] = {
+            "scores": [float(s) for s in scores],
+            "window_starts": [int(s) for s in starts],
+            "alarm_windows": [int(a) for a in alarms],
+        }
+    return out
+
+
+def load_fixture() -> dict:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def write_fixture() -> Path:
+    data = compute_golden()
+    FIXTURE_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return FIXTURE_PATH
+
+
+def compare(fresh: dict, pinned: dict) -> list:
+    """Mismatch descriptions between a fresh run and the pinned fixture."""
+    failures = []
+    for name, tables in pinned["traces"].items():
+        got = fresh["traces"][name]
+        want_scores = np.asarray(tables["scores"])
+        got_scores = np.asarray(got["scores"])
+        if got_scores.shape != want_scores.shape:
+            failures.append(
+                f"{name}: {got_scores.shape[0]} windows, "
+                f"expected {want_scores.shape[0]}"
+            )
+            continue
+        if not np.allclose(got_scores, want_scores, rtol=1e-9, atol=1e-12):
+            failures.append(
+                f"{name} scores: max abs diff "
+                f"{np.abs(got_scores - want_scores).max():g}"
+            )
+        if got["alarm_windows"] != tables["alarm_windows"]:
+            failures.append(
+                f"{name} alarms: {got['alarm_windows']} != "
+                f"{tables['alarm_windows']}"
+            )
+        if got["window_starts"] != tables["window_starts"]:
+            failures.append(f"{name}: window starts changed")
+    return failures

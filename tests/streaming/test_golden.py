@@ -1,0 +1,138 @@
+"""Golden regression: the streaming detector must reproduce the fixture.
+
+The fixture pins actual per-window scores and CUSUM alarm windows for a
+fixed-seed printer trace (clean and with two forged-claim spans), so
+silent numerical drift anywhere in the online path — windowing, CWT
+extraction, Parzen scoring, RNG derivation, decision layer — fails
+loudly.  Intentional changes regenerate it with
+``PYTHONPATH=src python -m tests.streaming.golden --regen``.
+
+The second half replays the *streamed* path against the same pinned
+numbers: because streaming is bitwise-equal to offline, the one fixture
+regresses both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streaming import StreamSession
+from tests.streaming.golden import (
+    FIXTURE_PATH,
+    GOLDEN_HOP,
+    GOLDEN_ROOT_ENTROPY,
+    GOLDEN_THRESHOLD,
+    GOLDEN_WINDOW,
+    compare,
+    compute_golden,
+    golden_calibration,
+    golden_scenario,
+    load_fixture,
+)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return golden_scenario()
+
+
+@pytest.fixture(scope="module")
+def calibration(scenarios):
+    return golden_calibration(scenarios[0])
+
+
+@pytest.fixture(scope="module")
+def fresh(scenarios, calibration):
+    # compute_golden() rebuilds everything; reuse the module-scoped
+    # artifacts instead to keep the suite fast.
+    from repro.streaming import offline_stream_scores
+
+    clean, attacked = scenarios
+    out = {"traces": {}}
+    for name, scenario in (("clean", clean), ("attacked", attacked)):
+        scores, starts, alarms = offline_stream_scores(
+            scenario.samples,
+            scenario.claims,
+            calibration,
+            window_size=GOLDEN_WINDOW,
+            hop_size=GOLDEN_HOP,
+        )
+        out["traces"][name] = {
+            "scores": [float(s) for s in scores],
+            "window_starts": [int(s) for s in starts],
+            "alarm_windows": [int(a) for a in alarms],
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    assert FIXTURE_PATH.exists(), (
+        "missing streaming golden fixture; run "
+        "PYTHONPATH=src python -m tests.streaming.golden --regen"
+    )
+    return load_fixture()
+
+
+class TestGoldenFixture:
+    def test_metadata_matches(self, pinned):
+        assert pinned["root_entropy"] == GOLDEN_ROOT_ENTROPY
+        assert pinned["threshold"] == GOLDEN_THRESHOLD
+        assert pinned["window_size"] == GOLDEN_WINDOW
+        assert pinned["hop_size"] == GOLDEN_HOP
+
+    def test_offline_scores_match(self, fresh, pinned):
+        assert compare(fresh, pinned) == []
+
+    def test_attack_is_detected_and_clean_is_quiet(self, pinned):
+        assert pinned["traces"]["attacked"]["alarm_windows"], (
+            "golden attack run must raise at least one alarm"
+        )
+        assert pinned["traces"]["clean"]["alarm_windows"] == [], (
+            "golden clean run must be alarm-free"
+        )
+
+    def test_alarms_start_inside_attacked_spans(self, scenarios, pinned):
+        _, attacked = scenarios
+        alarm_windows = pinned["traces"]["attacked"]["alarm_windows"]
+        starts = np.asarray(pinned["traces"]["attacked"]["window_starts"])
+        first_alarm_start = starts[alarm_windows[0]]
+        span = np.searchsorted(
+            attacked.claims.boundaries, first_alarm_start, side="right"
+        ) - 1
+        assert span in attacked.attacked_spans
+
+
+class TestStreamedAgainstFixture:
+    """The pinned offline numbers double as a streaming oracle."""
+
+    @pytest.mark.parametrize("chunk_size,batch_windows", [(997, 7), (4096, 32)])
+    def test_streamed_run_matches_pinned(
+        self, scenarios, calibration, pinned, chunk_size, batch_windows
+    ):
+        _, attacked = scenarios
+        session = StreamSession(
+            attacked.replay(chunk_size=chunk_size, rate="max"),
+            extractor=calibration.extractor,
+            scorer=calibration.scorer,
+            claims=attacked.claims,
+            detector=calibration.make_detector(),
+            window_size=GOLDEN_WINDOW,
+            hop_size=GOLDEN_HOP,
+            sample_rate=attacked.sample_rate,
+            batch_windows=batch_windows,
+        )
+        metrics = session.run()
+        want = pinned["traces"]["attacked"]
+        assert metrics.ok and metrics.windows_dropped == 0
+        np.testing.assert_allclose(
+            metrics.scores, want["scores"], rtol=1e-9, atol=1e-12
+        )
+        assert metrics.alarms == want["alarm_windows"]
+
+
+def test_compute_golden_is_self_consistent():
+    # The maintenance CLI's full recompute agrees with itself and with
+    # the committed fixture (same check `python -m tests.streaming.golden`
+    # performs).
+    fresh = compute_golden()
+    assert compare(fresh, load_fixture()) == []

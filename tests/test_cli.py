@@ -224,3 +224,84 @@ class TestProfileFlag:
         assert "VERDICT" in out
         stats = pstats.Stats(str(model / "analyze_profile.pstats"))
         assert stats.total_calls > 0
+
+
+class TestStreamCommand:
+    COMMON = [
+        "stream", "--synthetic", "--moves", "2", "--seed", "20190325",
+        "--g-size", "32", "--rate", "max",
+    ]
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["stream"]) == 2
+        assert "exactly one of --wav or --synthetic" in capsys.readouterr().err
+
+    def test_synthetic_attack_run_detects(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [*self.COMMON, "--attack-spans", "2", "--expect-detection",
+             "--max-dropped", "0", "--metrics-out", str(metrics_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "windows scored" in out
+        assert "alarm windows" in out
+
+        import json
+
+        summary = json.loads(metrics_path.read_text())
+        assert summary["n_alarms"] >= 1
+        assert summary["windows_dropped"] == 0
+        assert summary["attacked_spans"]
+        assert summary["windows_per_second"] > 0
+        assert "p95_ms" in summary["scoring_latency"]
+
+    def test_clean_run_is_quiet(self, capsys):
+        rc = main([*self.COMMON, "--attack-spans", "0"])
+        assert rc == 0
+        assert "0 alarm(s)" in capsys.readouterr().out
+
+    def test_expect_detection_fails_on_clean_run(self, capsys):
+        rc = main([*self.COMMON, "--attack-spans", "0", "--expect-detection"])
+        assert rc == 1
+        assert "no alarm fired" in capsys.readouterr().err
+
+    def test_wav_roundtrip(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        from repro.flows.energy import EnergyFlowData
+        from repro.manufacturing.wav import write_wav
+        from repro.streaming import synthetic_printer_stream
+
+        scenario = synthetic_printer_stream(n_moves_per_axis=2, seed=20190325)
+        wav_path = tmp_path / "trace.wav"
+        write_wav(
+            EnergyFlowData(scenario.samples, scenario.sample_rate),
+            wav_path,
+        )
+        claims_path = tmp_path / "claims.json"
+        claims_path.write_text(json.dumps({
+            "boundaries": [int(b) for b in scenario.claims.boundaries],
+            "span_conditions": [int(s) for s in scenario.claims.span_conditions],
+            "conditions": np.asarray(scenario.claims.conditions).tolist(),
+        }))
+        rc = main(
+            ["stream", "--wav", str(wav_path), "--claims", str(claims_path),
+             "--g-size", "32", "--seed", "20190325", "--max-dropped", "0"]
+        )
+        assert rc == 0
+        assert "windows scored" in capsys.readouterr().out
+
+    def test_wav_claims_missing_key_is_loud(self, tmp_path):
+        import json
+
+        wav_path = tmp_path / "missing.wav"
+        wav_path.write_bytes(b"")
+        claims_path = tmp_path / "claims.json"
+        claims_path.write_text(json.dumps({"boundaries": [0]}))
+        with pytest.raises(SystemExit):
+            from repro.cli import _load_claim_track
+
+            _load_claim_track(claims_path)
